@@ -1,0 +1,96 @@
+// Ablation A1 (DESIGN.md): Feature-Encoder design choices vs prediction
+// quality — the experiments behind the SBERT-substitution defaults:
+//   * embedding dimension (paper fixes 384 to match all-MiniLM),
+//   * hashes per feature (Bloom-style multi-hashing; 3 is the default —
+//     single-position hashing loses tree accuracy to collisions),
+//   * char n-grams on/off (generalization across job-name variants),
+//   * whole-field tokens and the dense JL rotation (both off by default;
+//     measured here to justify that choice).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_ablation_encoder [--jobs-per-day N] [--seed S] [--rf-trees T]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+
+  bench::print_banner("ablation: sentence-encoder configuration",
+                      "DESIGN.md A1 (SBERT substitution)", jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+
+  struct Variant {
+    const char* name;
+    EncoderConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"default (384d, 3 hashes, ngrams)", EncoderConfig{}});
+  {
+    EncoderConfig c;
+    c.hashes_per_feature = 1;
+    variants.push_back({"1 hash per feature", c});
+  }
+  {
+    EncoderConfig c;
+    c.ngram_sizes = {};
+    variants.push_back({"no char n-grams (words only)", c});
+  }
+  {
+    EncoderConfig c;
+    c.dim = 128;
+    variants.push_back({"128 dimensions", c});
+  }
+  {
+    EncoderConfig c;
+    c.dim = 768;
+    variants.push_back({"768 dimensions", c});
+  }
+  {
+    EncoderConfig c;
+    c.use_field_tokens = true;
+    variants.push_back({"+ whole-field tokens", c});
+  }
+  {
+    EncoderConfig c;
+    c.densify = true;
+    variants.push_back({"+ dense JL rotation", c});
+  }
+
+  std::printf("\n(KNN alpha=30 beta=1; RF alpha=15 beta=1, %zu trees)\n\n", rf_trees);
+  TextTable table({"encoder variant", "KNN F1", "RF F1"});
+  for (const auto& variant : variants) {
+    const FeatureEncoder encoder(default_feature_set(), variant.config);
+    const OnlineEvaluator evaluator(store, characterizer, encoder);
+
+    OnlineEvalConfig knn_config;
+    knn_config.alpha_days = 30;
+    knn_config.beta_days = 1;
+    const double knn_f1 =
+        evaluator.evaluate(bench::model_factory(ModelKind::kKnn), knn_config).f1_macro();
+
+    OnlineEvalConfig rf_config;
+    rf_config.alpha_days = 15;
+    rf_config.beta_days = 1;
+    const double rf_f1 =
+        evaluator.evaluate(bench::model_factory(ModelKind::kRandomForest, rf_trees), rf_config)
+            .f1_macro();
+
+    table.add_row({variant.name, format_double(knn_f1, 4), format_double(rf_f1, 4)});
+    std::fputs(".", stdout);
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("Reading: KNN is robust across variants (exact duplicates dominate);\n");
+  std::printf("RF depends on collision-resilient sparse features — multi-hashing helps,\n");
+  std::printf("the dense rotation hurts. These measurements fixed the library defaults.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A2 (DESIGN.md): Random-Forest hyper-parameters vs F1 and
+// training time — the measurements behind the histogram-CART design:
+//   * tree count (sklearn default 100),
+//   * features per split (sqrt(384)=20 vs the tuned 48),
+//   * histogram bin count (the binned-CART speed/quality trade-off),
+//   * max depth, bootstrap on/off.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_ablation_rf [--jobs-per-day N] [--seed S]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+
+  bench::print_banner("ablation: random-forest hyper-parameters",
+                      "DESIGN.md A2 (histogram-CART design)", jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+  const FeatureEncoder encoder;
+  const OnlineEvaluator evaluator(store, characterizer, encoder);
+
+  struct Variant {
+    const char* name;
+    RandomForestConfig config;
+  };
+  const auto base = bench::paper_rf_config(100);
+  std::vector<Variant> variants;
+  variants.push_back({"default (100 trees, mf=48, 256 bins)", base});
+  {
+    auto c = base;
+    c.n_trees = 25;
+    variants.push_back({"25 trees", c});
+  }
+  {
+    auto c = base;
+    c.n_trees = 200;
+    variants.push_back({"200 trees", c});
+  }
+  {
+    auto c = base;
+    c.tree.max_features = 0;  // sqrt(384) ~ 20, the sklearn default
+    variants.push_back({"mf=sqrt(d)=20 (sklearn default)", c});
+  }
+  {
+    auto c = base;
+    c.tree.max_features = 96;
+    variants.push_back({"mf=96", c});
+  }
+  {
+    auto c = base;
+    c.max_bins = 32;
+    variants.push_back({"32 histogram bins", c});
+  }
+  {
+    auto c = base;
+    c.max_bins = 64;
+    variants.push_back({"64 histogram bins", c});
+  }
+  {
+    auto c = base;
+    c.tree.max_depth = 8;
+    variants.push_back({"max depth 8", c});
+  }
+  {
+    auto c = base;
+    c.bootstrap = false;
+    variants.push_back({"no bootstrap", c});
+  }
+
+  std::printf("\n(RF alpha=15, beta=1 over February; F1 and avg per-retrain fit time)\n\n");
+  TextTable table({"forest variant", "F1", "train s (avg)"});
+  for (const auto& variant : variants) {
+    OnlineEvalConfig config;
+    config.alpha_days = 15;
+    config.beta_days = 1;
+    const auto factory = [&variant] {
+      return ClassificationModel(ModelKind::kRandomForest, {}, variant.config);
+    };
+    const auto result = evaluator.evaluate(factory, config);
+    table.add_row({variant.name, format_double(result.f1_macro(), 4),
+                   format_double(result.train_seconds.mean(), 4)});
+    std::fputs(".", stdout);
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("Reading: quality saturates around 100 trees / 48 features; coarse bins\n");
+  std::printf("trade little accuracy for speed (histogram-CART justification); shallow\n");
+  std::printf("depth caps hurt because app isolation needs deep paths.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// §V-C(b) reproduction: the alpha-plus (growing window) experiment.
+// Starting from each model's best sliding-alpha setting, retrain instead
+// on ALL data since December 1st, never forgetting.
+//
+// Paper shape: RF F1 unchanged (0.90 -> 0.90) but training time grows
+// ~8x (26 s -> >200 s); KNN F1 *drops* (0.89 -> 0.86) and its inference
+// cost rises — a sliding window is better on both axes, because the
+// workload drifts and old jobs mislead the nearest-neighbour vote.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_alpha_plus [--jobs-per-day N] [--seed S] [--rf-trees T]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+
+  bench::print_banner("alpha-plus: growing training window vs sliding window",
+                      "§V-C(b), discussed with Figs. 6-8", jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+  const FeatureEncoder encoder;
+  const OnlineEvaluator evaluator(store, characterizer, encoder);
+
+  std::printf("\n");
+  TextTable table({"model", "window", "F1", "train jobs (avg)", "train s (avg)",
+                   "infer s/job (avg)"});
+
+  struct Case {
+    ModelKind kind;
+    int alpha;
+  };
+  for (const Case c : {Case{ModelKind::kRandomForest, 15}, Case{ModelKind::kKnn, 30}}) {
+    const char* name = c.kind == ModelKind::kKnn ? "KNN" : "RF";
+    double sliding_f1 = 0.0;
+    for (const bool growing : {false, true}) {
+      OnlineEvalConfig config;
+      config.alpha_days = c.alpha;
+      config.beta_days = 1;
+      config.growing_window = growing;
+      const auto result = evaluator.evaluate(bench::model_factory(c.kind, rf_trees), config);
+      if (!growing) sliding_f1 = result.f1_macro();
+      char infer[32];
+      std::snprintf(infer, sizeof(infer), "%.3e", result.inference_seconds_per_job.mean());
+      table.add_row({name,
+                     growing ? "alpha+ (growing)" : "alpha=" + std::to_string(c.alpha),
+                     format_double(result.f1_macro(), 4),
+                     format_double(result.train_set_size.mean(), 0),
+                     format_double(result.train_seconds.mean(), 4), infer});
+      std::fputs(".", stdout);
+      std::fflush(stdout);
+      if (growing) {
+        std::printf("\n%s: alpha+ vs sliding F1 delta = %+.4f  (paper: RF +0.00, KNN -0.03)\n",
+                    name, result.f1_macro() - sliding_f1);
+      }
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Paper conclusion: the sliding window wins on accuracy (KNN) and on\n");
+  std::printf("training/inference cost (both); alpha+ never improves F1.\n");
+  return 0;
+}

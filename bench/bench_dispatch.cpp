@@ -1,0 +1,123 @@
+// §VI extension: dispatching strategies driven by MCBound predictions.
+// Replays the February test month through the event-driven cluster
+// simulator under three policies, each with (a) oracle labels, and
+// (b) labels from an actually-trained online RF model — showing that the
+// ~90%-accurate classifier retains most of the oracle's benefit:
+//
+//   exclusive            today's behaviour (baseline)
+//   + frequency advisor  predicted-compute -> boost, predicted-memory ->
+//                        normal (paper §V-C d physics)
+//   + co-scheduling      complementary-label node sharing (refs [8, 9])
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sched/dispatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags({"nodes"}),
+      "usage: bench_dispatch [--jobs-per-day N] [--seed S] [--nodes NODES] [--rf-trees T]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+  const auto total_nodes = static_cast<std::uint32_t>(flags->get_int("nodes", 56));
+
+  bench::print_banner("dispatching with MCBound predictions", "§VI (future work, refs 8/9/18)",
+                      jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+
+  // February's jobs, by submission.
+  JobQuery q;
+  q.field = JobQuery::TimeField::kSubmitTime;
+  q.start_time = timepoint_from_ymd(2024, 2, 1);
+  q.end_time = timepoint_from_ymd(2024, 3, 1);
+  std::vector<JobRecord> february;
+  for (const JobRecord* job : store.query(q)) february.push_back(*job);
+  std::printf("\nFebruary trace: %zu jobs onto a %u-node partition (sized for ~90%% demand)\n", february.size(),
+              total_nodes);
+
+  // Oracle labels + model labels (online RF, alpha=15, beta=1).
+  const std::vector<Boundedness> oracle = characterizer.generate_labels(february);
+
+  const FeatureEncoder encoder;
+  StoreDataFetcher fetcher(store);
+  EncodingCache cache(encoder.dim());
+  const TrainingWorkflow training(fetcher, characterizer, encoder, &cache);
+  const InferenceWorkflow inference(fetcher, encoder, &cache);
+  std::vector<Boundedness> model_labels(february.size(), Boundedness::kMemoryBound);
+  {
+    std::size_t cursor = 0;
+    for (TimePoint day = q.start_time; day < q.end_time; day += kSecondsPerDay) {
+      ClassificationModel model(ModelKind::kRandomForest, {}, bench::paper_rf_config(rf_trees));
+      training.run(model, day - 15 * kSecondsPerDay, day);
+      std::vector<JobRecord> batch;
+      const std::size_t batch_start = cursor;
+      while (cursor < february.size() &&
+             february[cursor].submit_time < day + kSecondsPerDay) {
+        batch.push_back(february[cursor++]);
+      }
+      if (batch.empty() || !model.is_trained()) continue;
+      const InferenceReport report = inference.run_jobs(model, batch);
+      for (std::size_t i = 0; i < report.predictions.size(); ++i) {
+        model_labels[batch_start + i] = to_boundedness(report.predictions[i]);
+      }
+    }
+  }
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < oracle.size(); ++i) agree += oracle[i] == model_labels[i];
+  std::printf("model label accuracy vs oracle: %.1f%%\n\n",
+              100.0 * static_cast<double>(agree) / static_cast<double>(oracle.size()));
+
+  struct Policy {
+    const char* name;
+    bool advisor;
+    bool coschedule;
+  };
+  const Policy policies[] = {
+      {"exclusive (baseline)", false, false},
+      {"+ frequency advisor", true, false},
+      {"+ co-scheduling", true, true},
+  };
+
+  TextTable table({"policy", "labels", "makespan h", "mean wait s", "energy GJ",
+                   "co-sched", "conflicts", "freq overrides"});
+  double baseline_energy = 0.0, baseline_makespan = 0.0;
+  for (const Policy& policy : policies) {
+    for (const bool use_model : {false, true}) {
+      if (!policy.advisor && use_model) continue;  // baseline ignores labels
+      const auto jobs = make_dispatch_jobs(february, use_model ? model_labels : oracle,
+                                           characterizer);
+      DispatchConfig config;
+      config.total_nodes = total_nodes;
+      config.frequency_advisor = policy.advisor;
+      config.co_schedule = policy.coschedule;
+      const DispatchResult result = simulate_dispatch(jobs, config);
+      if (!policy.advisor) {
+        baseline_energy = result.total_energy_gj;
+        baseline_makespan = result.makespan_s;
+      }
+      table.add_row({policy.name, use_model ? "RF model" : "oracle",
+                     format_double(result.makespan_s / 3600.0, 1),
+                     format_double(result.mean_wait_s, 0),
+                     format_double(result.total_energy_gj, 2),
+                     std::to_string(result.co_scheduled_jobs),
+                     std::to_string(result.conflict_pairs),
+                     std::to_string(result.frequency_overrides)});
+      std::fputs(".", stdout);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("baseline: %.1f h makespan, %.2f GJ. Expected shape: the advisor cuts\n",
+              baseline_makespan / 3600.0, baseline_energy);
+  std::printf("energy (memory-bound jobs leave boost) and trims compute-bound runtimes;\n");
+  std::printf("co-scheduling raises throughput further; the RF model keeps most of the\n");
+  std::printf("oracle benefit at ~90%% label accuracy.\n");
+  return 0;
+}

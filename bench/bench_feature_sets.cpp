@@ -1,0 +1,75 @@
+// §V-A reproduction: the feature-set selection experiment. The paper
+// starts from the best set found for Fugaku power prediction
+// (user name, job name, #cores, #nodes, environment — Antici et al.
+// SC-W'23) and finds that adding *frequency requested* improves
+// memory/compute-bound prediction; smaller subsets do worse.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_feature_sets [--jobs-per-day N] [--seed S] [--rf-trees T]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+
+  bench::print_banner("feature-set selection for the Feature Encoder", "§V-A",
+                      jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+
+  struct Variant {
+    const char* name;
+    std::vector<JobFeature> features;
+  };
+  const std::vector<Variant> variants = {
+      {"job name only", {JobFeature::kJobName}},
+      {"user + job name", {JobFeature::kUserName, JobFeature::kJobName}},
+      {"resources only (#cores,#nodes,freq)",
+       {JobFeature::kCoresRequested, JobFeature::kNodesRequested, JobFeature::kFrequency}},
+      {"SC-W'23 power set (user,job,#cores,#nodes,env)",
+       {JobFeature::kUserName, JobFeature::kJobName, JobFeature::kCoresRequested,
+        JobFeature::kNodesRequested, JobFeature::kEnvironment}},
+      {"paper's augmented set (+frequency)", default_feature_set()},
+  };
+
+  std::printf("\n(KNN alpha=30 beta=1; RF alpha=15 beta=1, %zu trees)\n\n", rf_trees);
+  TextTable table({"feature set", "KNN F1", "RF F1"});
+  double base_knn = 0.0, full_knn = 0.0;
+  for (const auto& variant : variants) {
+    const FeatureEncoder encoder(variant.features);
+    const OnlineEvaluator evaluator(store, characterizer, encoder);
+
+    OnlineEvalConfig knn_config;
+    knn_config.alpha_days = 30;
+    knn_config.beta_days = 1;
+    const double knn_f1 =
+        evaluator.evaluate(bench::model_factory(ModelKind::kKnn), knn_config).f1_macro();
+
+    OnlineEvalConfig rf_config;
+    rf_config.alpha_days = 15;
+    rf_config.beta_days = 1;
+    const double rf_f1 =
+        evaluator.evaluate(bench::model_factory(ModelKind::kRandomForest, rf_trees), rf_config)
+            .f1_macro();
+
+    if (std::string(variant.name).find("SC-W'23") != std::string::npos) base_knn = knn_f1;
+    if (std::string(variant.name).find("augmented") != std::string::npos) full_knn = knn_f1;
+    table.add_row({variant.name, format_double(knn_f1, 4), format_double(rf_f1, 4)});
+    std::fputs(".", stdout);
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("Paper claim (§V-A): the SC-W'23 power-prediction set is strong, and\n");
+  std::printf("adding 'frequency requested' improves it further.\n");
+  std::printf("Measured: +frequency delta on KNN = %+.4f -> %s\n", full_knn - base_knn,
+              full_knn >= base_knn - 0.005 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 10 reproduction: RF F1 vs theta (latest vs random sampling of
+// the alpha = 15 window, random averaged over the paper's 5 seeds).
+// Same shape as Fig. 9: random > latest, gap shrinking with theta, best
+// with all available data.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_fig10_theta_rf [--jobs-per-day N] [--seed S] [--rf-trees T]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+
+  bench::print_banner("Figure 10: RF F1 with different theta values", "Fig. 10 (§V-C c)",
+                      jobs_per_day, seed);
+
+  WorkloadConfig workload_config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &workload_config);
+  const Characterizer characterizer(workload_config.machine);
+  const FeatureEncoder encoder;
+  const OnlineEvaluator evaluator(store, characterizer, encoder);
+
+  bench::run_theta_sweep(ModelKind::kRandomForest, 15, rf_trees, evaluator);
+  return 0;
+}

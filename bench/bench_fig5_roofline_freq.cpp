@@ -1,0 +1,49 @@
+// Figure 5 reproduction: the Roofline plane split by the user-selected
+// frequency mode. The paper's observation: there is no correlation
+// between the chosen frequency and the job's position in the plane —
+// users do not pick frequencies that suit their job's boundedness.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "roofline/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_fig5_roofline_freq [--jobs-per-day N] [--seed S]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 2000.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+
+  bench::print_banner("Figure 5: Roofline model divided by frequency", "Fig. 5 (§IV-C)",
+                      jobs_per_day, seed);
+
+  WorkloadConfig config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &config);
+  const Characterizer characterizer(config.machine);
+  const auto analysis = analyze_jobs(characterizer, store.all());
+
+  for (const FrequencyMode mode : {FrequencyMode::kNormal, FrequencyMode::kBoost}) {
+    std::printf("\n--- %d MHz (%s mode) ---\n", frequency_mhz(mode),
+                frequency_mode_name(mode));
+    const LogGrid2D grid = roofline_grid(analysis, 100, 16, &mode);
+    std::fputs(grid.render(characterizer.ridge_point()).c_str(), stdout);
+
+    std::uint64_t mem = analysis.breakdown.at(mode, Boundedness::kMemoryBound);
+    std::uint64_t comp = analysis.breakdown.at(mode, Boundedness::kComputeBound);
+    std::printf("jobs: %llu (%.1f%% memory-bound)\n",
+                static_cast<unsigned long long>(mem + comp),
+                100.0 * static_cast<double>(mem) / static_cast<double>(mem + comp));
+  }
+
+  const double corr = analysis.frequency_intensity_correlation();
+  std::printf("\nPearson correlation (boost mode vs log10 intensity): %+.4f\n", corr);
+  std::printf("Paper shape check: 'no observable correlation' (|r| < 0.2) -> %s\n",
+              std::abs(corr) < 0.2 ? "OK" : "MISMATCH");
+  std::printf("\nImplication (paper): memory-bound jobs gain nothing from boost mode,\n"
+              "compute-bound jobs lose ~10%% runtime in normal mode -> MCBound can\n"
+              "guide frequency selection (see bench_impact_estimate).\n");
+  return 0;
+}

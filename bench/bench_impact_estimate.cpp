@@ -1,0 +1,86 @@
+// §V-C(d) reproduction: the system-level impact estimate of MCBound-
+// guided semi-automatic frequency selection, following the paper's
+// methodology (based on Kodama et al. 2020):
+//   * memory-bound jobs moved boost -> normal save ~15% power at equal
+//     runtime (their bottleneck is bandwidth, not clock);
+//   * compute-bound jobs moved normal -> boost run ~10% faster.
+// The paper multiplies these by the misconfigured-job counts from
+// Table II and the classifier's ~90% accuracy; we do the same over the
+// synthetic trace with per-job durations and modeled powers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "roofline/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags({"accuracy"}),
+      "usage: bench_impact_estimate [--jobs-per-day N] [--seed S] [--accuracy F]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 2000.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+  const double accuracy = flags->get_double("accuracy", 0.90);  // paper: ~90% correct
+
+  bench::print_banner("impact estimate: MCBound-guided frequency selection",
+                      "§V-C(d) discussion", jobs_per_day, seed);
+
+  WorkloadConfig config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &config);
+  const Characterizer characterizer(config.machine);
+  const auto analysis = analyze_jobs(characterizer, store.all());
+
+  // Paper's per-job constants (Fugaku measurements from Kodama et al.).
+  constexpr double kMemPowerSavingFraction = 0.15;   // normal vs boost power
+  constexpr double kCompDurationSavingFraction = 0.10;  // boost vs normal time
+  constexpr double kAvgJobPowerWatts = 5000.0;       // paper's average
+
+  double mem_boost_jobs = 0, mem_boost_node_seconds = 0;
+  double comp_normal_jobs = 0, comp_normal_saved_seconds = 0, comp_normal_node_hours = 0;
+  for (const auto& cj : analysis.jobs) {
+    const JobRecord& job = *cj.job;
+    const double duration = static_cast<double>(job.duration());
+    if (cj.label == Boundedness::kMemoryBound && job.frequency == FrequencyMode::kBoost) {
+      mem_boost_jobs += 1;
+      mem_boost_node_seconds += duration;
+    } else if (cj.label == Boundedness::kComputeBound &&
+               job.frequency == FrequencyMode::kNormal) {
+      comp_normal_jobs += 1;
+      comp_normal_saved_seconds += duration * kCompDurationSavingFraction;
+      comp_normal_node_hours +=
+          duration * kCompDurationSavingFraction * job.nodes_allocated / 3600.0;
+    }
+  }
+
+  const double corrected = accuracy;  // fraction of jobs MCBound reroutes correctly
+  const double avg_power_saving_w = kAvgJobPowerWatts * kMemPowerSavingFraction;
+  const double total_power_saving_mw =
+      mem_boost_jobs * corrected * avg_power_saving_w / 1e6;
+  const double total_energy_gj =
+      mem_boost_node_seconds * corrected * avg_power_saving_w / 1e9;
+  const double total_compute_hours_saved =
+      comp_normal_saved_seconds * corrected / 3600.0;
+
+  std::printf("\nMisconfigured jobs in this trace:\n");
+  std::printf("  memory-bound run in boost mode : %s (avg duration %.0f s)\n",
+              with_thousands(static_cast<std::int64_t>(mem_boost_jobs)).c_str(),
+              mem_boost_jobs > 0 ? mem_boost_node_seconds / mem_boost_jobs : 0.0);
+  std::printf("  compute-bound run in normal mode: %s\n",
+              with_thousands(static_cast<std::int64_t>(comp_normal_jobs)).c_str());
+
+  std::printf("\nWith %.0f%% classification accuracy, semi-automatic frequency selection\n",
+              100.0 * accuracy);
+  std::printf("over this trace would have saved:\n");
+  std::printf("  cumulative power reduction   : %.2f MW-jobs (paper: ~450 MW over 750k jobs)\n",
+              total_power_saving_mw);
+  std::printf("  energy                       : %.2f GJ      (paper states 14 GJ; its per-job\n                                            figures imply ~3 TJ — see EXPERIMENTS.md)\n",
+              total_energy_gj);
+  std::printf("  compute time                 : %.0f h wall  (paper: >1,700 h system compute)\n",
+              total_compute_hours_saved);
+  std::printf("  node-hours                   : %.0f node-h\n",
+              comp_normal_node_hours * corrected);
+  std::printf("\n(absolute values scale linearly with --jobs-per-day; the paper's trace\n");
+  std::printf("is ~%.0fx this volume)\n", 25'000.0 / jobs_per_day);
+  return 0;
+}

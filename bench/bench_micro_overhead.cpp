@@ -1,0 +1,157 @@
+// §V-B overhead micro-benchmarks (google-benchmark): per-job cost of
+// characterization, encoding, KNN/RF inference and model (de)serialization.
+// Paper reference numbers (64-core EPYC 7302, Python):
+//   characterization ~1e-6 s/job, SBERT encoding ~2e-3 s/job,
+//   RF inference ~2e-6 s/job (model only).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/feature_encoder.hpp"
+#include "data/job_store.hpp"
+#include "core/classification_model.hpp"
+#include "roofline/characterizer.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace mcb;
+
+const std::vector<JobRecord>& sample_jobs() {
+  static const std::vector<JobRecord> jobs = [] {
+    WorkloadGenerator generator(scaled_workload_config(50.0, 15));
+    return generator.generate();
+  }();
+  return jobs;
+}
+
+void BM_Characterize(benchmark::State& state) {
+  const Characterizer characterizer(fugaku_node_spec());
+  const auto& jobs = sample_jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(characterizer.characterize(jobs[i++ % jobs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("paper: ~1e-6 s/job");
+}
+BENCHMARK(BM_Characterize);
+
+void BM_FeatureString(benchmark::State& state) {
+  const FeatureEncoder encoder;
+  const auto& jobs = sample_jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.feature_string(jobs[i++ % jobs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureString);
+
+void BM_Encode(benchmark::State& state) {
+  const FeatureEncoder encoder;
+  const auto& jobs = sample_jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(jobs[i++ % jobs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("paper (SBERT): ~2e-3 s/job");
+}
+BENCHMARK(BM_Encode);
+
+/// Train-once fixtures for inference benchmarks.
+struct TrainedModels {
+  FeatureMatrix train_x{0, 0};
+  std::vector<Label> train_y;
+  FeatureMatrix query{0, 0};
+  ClassificationModel knn{ModelKind::kKnn};
+  ClassificationModel rf{ModelKind::kRandomForest};
+
+  TrainedModels() {
+    const FeatureEncoder encoder;
+    const Characterizer characterizer(fugaku_node_spec());
+    const auto& jobs = sample_jobs();
+    const std::size_t n = std::min<std::size_t>(jobs.size(), 4000);
+    std::vector<JobRecord> subset(jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(n));
+    train_x = encoder.encode_batch(subset);
+    for (const auto& job : subset) {
+      train_y.push_back(to_label(*characterizer.characterize(job)));
+    }
+    knn.training(train_x.view(), train_y);
+    RandomForestConfig rf_config;
+    rf_config.n_trees = 100;
+    rf_config.tree.max_features = 48;
+    rf = ClassificationModel(ModelKind::kRandomForest, {}, rf_config);
+    rf.training(train_x.view(), train_y);
+    query = FeatureMatrix(1, encoder.dim());
+    const auto source = train_x.view().row(7);
+    std::copy(source.begin(), source.end(), query.row(0));
+  }
+};
+
+TrainedModels& models() {
+  static TrainedModels m;
+  return m;
+}
+
+void BM_KnnInference(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.knn.inference(m.query.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("scan over 4000x384 train matrix");
+}
+BENCHMARK(BM_KnnInference);
+
+void BM_RfInference(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rf.inference(m.query.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("paper: ~2e-6 s/job (model only)");
+}
+BENCHMARK(BM_RfInference);
+
+void BM_KnnTraining(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    ClassificationModel fresh(ModelKind::kKnn);
+    fresh.training(m.train_x.view(), m.train_y);
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetLabel("paper: 'just building a model instance'");
+}
+BENCHMARK(BM_KnnTraining);
+
+void BM_ModelSerializeRf(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    std::ostringstream out;
+    m.rf.save(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_ModelSerializeRf);
+
+void BM_StoreRangeQuery(benchmark::State& state) {
+  static const JobStore store = [] {
+    JobStore s;
+    s.insert_all(sample_jobs());
+    return s;
+  }();
+  JobQuery q;
+  q.start_time = timepoint_from_ymd(2024, 1, 1);
+  q.end_time = timepoint_from_ymd(2024, 1, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("15-day window fetch (Training Workflow)");
+}
+BENCHMARK(BM_StoreRangeQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

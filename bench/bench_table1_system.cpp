@@ -1,0 +1,40 @@
+// Table I reproduction: the Fugaku system architecture table, printed
+// from the machine specification the Job Characterizer is built on,
+// together with the derived Roofline parameters used throughout.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "roofline/machine_spec.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace mcb;
+
+  const FugakuSystemFacts facts;
+  const MachineSpec node = fugaku_node_spec();
+
+  std::printf("TABLE I — FUGAKU SYSTEM ARCHITECTURE\n\n");
+  TextTable table({"System characteristic", "Description"});
+  table.add_row({"Architecture", facts.architecture});
+  table.add_row({"OS", facts.os});
+  table.add_row({"#Nodes", with_thousands(facts.nodes)});
+  table.add_row({"#Cores (per node)", std::to_string(facts.cores_per_node) + " + " +
+                                          std::to_string(facts.assistant_cores_per_node) +
+                                          " assistant cores"});
+  table.add_row({"Memory (per node)", facts.memory});
+  table.add_row({"Peak Performance",
+                 "~" + format_double(facts.system_peak_pflops, 0) + " PFlops/s (FP64), ~" +
+                     format_double(facts.node_peak_tflops, 1) + " TFlops/s per node"});
+  table.add_row({"Internal Network", facts.network});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nDerived Roofline parameters (paper §IV-B):\n");
+  std::printf("  node spec              : %s\n", node.name.c_str());
+  std::printf("  peak performance       : %.0f GFlops/s (FP64, boost mode)\n",
+              node.peak_gflops);
+  std::printf("  peak memory bandwidth  : %.0f GByte/s (HBM2)\n", node.peak_bandwidth_gbs);
+  std::printf("  ridge point op_r       : %.3f Flops/Byte (paper: ~3.3)\n",
+              node.ridge_point());
+  std::printf("\njobs with op > op_r are compute-bound; op <= op_r memory-bound.\n");
+  return 0;
+}

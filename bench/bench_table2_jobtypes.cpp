@@ -1,0 +1,64 @@
+// Table II reproduction: distribution of job types by frequency mode.
+// Paper values: memory:compute ratio ~3.44 : 1; ~54% of memory-bound
+// jobs run at 2.0 GHz (normal) and only ~31% of compute-bound jobs at
+// 2.2 GHz (boost) — i.e. users frequently pick the wrong mode.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "roofline/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  const auto flags = CliFlags::parse(
+      argc, argv, bench::standard_flags(),
+      "usage: bench_table2_jobtypes [--jobs-per-day N] [--seed S]");
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+  const double jobs_per_day = flags->get_double("jobs-per-day", 2000.0);
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
+
+  bench::print_banner("Table II: distribution of job types", "Table II (§IV-C)",
+                      jobs_per_day, seed);
+
+  WorkloadConfig config;
+  const JobStore store = bench::build_store(jobs_per_day, seed, &config);
+  const Characterizer characterizer(config.machine);
+  const auto analysis = analyze_jobs(characterizer, store.all());
+  const JobTypeBreakdown& b = analysis.breakdown;
+
+  std::printf("\nTABLE II — DISTRIBUTION OF JOB TYPES (this run)\n\n");
+  TextTable table({"Frequency", "memory-bound", "compute-bound", "Total"});
+  const auto row = [&b](FrequencyMode f) {
+    return std::vector<std::string>{
+        std::string(frequency_mhz(f) == 2000 ? "2.0 GHz (normal mode)"
+                                             : "2.2 GHz (boost mode)"),
+        with_thousands(static_cast<std::int64_t>(b.at(f, Boundedness::kMemoryBound))),
+        with_thousands(static_cast<std::int64_t>(b.at(f, Boundedness::kComputeBound))),
+        with_thousands(static_cast<std::int64_t>(b.by_frequency(f)))};
+  };
+  table.add_row(row(FrequencyMode::kNormal));
+  table.add_row(row(FrequencyMode::kBoost));
+  table.add_row({"Total",
+                 with_thousands(static_cast<std::int64_t>(b.by_label(Boundedness::kMemoryBound))),
+                 with_thousands(static_cast<std::int64_t>(b.by_label(Boundedness::kComputeBound))),
+                 with_thousands(static_cast<std::int64_t>(b.total()))});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nPaper (2.2M Fugaku jobs, Dec 2023 - Mar 2024):\n");
+  std::printf("  2.0 GHz: 891,056 mem | 330,878 comp    2.2 GHz: 752,421 mem | 147,097 comp\n");
+  std::printf("  totals : 1,643,477 mem | 477,975 comp | 2,121,452\n");
+
+  std::printf("\nShape comparison (measured vs paper):\n");
+  std::printf("  memory : compute ratio        %.2f : 1   (paper 3.44 : 1)\n",
+              b.memory_to_compute_ratio());
+  std::printf("  memory-bound at normal mode   %.1f%%      (paper 54.2%%)\n",
+              100.0 * b.memory_bound_normal_fraction());
+  std::printf("  compute-bound at boost mode   %.1f%%      (paper 30.8%%)\n",
+              100.0 * b.compute_bound_boost_fraction());
+  const bool ok = b.memory_to_compute_ratio() > 2.0 && b.memory_to_compute_ratio() < 5.5 &&
+                  b.memory_bound_normal_fraction() > 0.45 &&
+                  b.compute_bound_boost_fraction() < 0.45;
+  std::printf("\nShape check: majority memory-bound + suboptimal frequency choices -> %s\n",
+              ok ? "OK" : "MISMATCH");
+  return 0;
+}

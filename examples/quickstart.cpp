@@ -1,0 +1,68 @@
+// Quickstart: the smallest end-to-end MCBound program.
+//
+//  1. Build a jobs data storage (here: a synthetic mini-trace; in a real
+//     deployment this is your scheduler's accounting database behind a
+//     DataFetcher).
+//  2. Construct the Framework from a FrameworkConfig.
+//  3. Run the Training Workflow once (train_now).
+//  4. Classify new, not-yet-executed jobs at submission time.
+//  5. Use the Job Characterizer standalone on an executed job.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/mcbound.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace mcb;
+
+  // --- 1. jobs data storage -------------------------------------------
+  // Two weeks of synthetic Fugaku-like history, ~150 jobs/day.
+  WorkloadConfig trace_config = scaled_workload_config(150.0, /*seed=*/7);
+  trace_config.end_time = trace_config.start_time + 14 * kSecondsPerDay;
+  WorkloadGenerator generator(trace_config);
+  JobStore store;
+  store.insert_all(generator.generate());
+  std::printf("jobs data storage: %zu executed jobs loaded\n", store.size());
+
+  // --- 2. framework ----------------------------------------------------
+  FrameworkConfig config;          // Fugaku machine spec + paper defaults
+  config.model = ModelKind::kRandomForest;
+  config.alpha_days = 14;          // trailing training window
+  config.registry_dir = "quickstart-models";
+  Framework mcbound(config, store);
+  std::printf("ridge point: %.2f Flops/Byte on %s\n",
+              mcbound.characterizer().ridge_point(),
+              mcbound.config().machine.name.c_str());
+
+  // --- 3. Training Workflow --------------------------------------------
+  const TimePoint now = store.max_end_time() + 1;
+  const TrainingReport report = mcbound.train_now(now);
+  std::printf("trained %s v%u on %zu jobs (fit %.2fs, encode %.2fs)\n",
+              mcbound.model_name().c_str(), *mcbound.model_version(), report.jobs_used,
+              report.train_seconds, report.encode_seconds);
+
+  // --- 4. classify new submissions BEFORE they run ----------------------
+  // Take three job shapes from the trace and re-submit them as new jobs.
+  const auto history = store.all();
+  for (const std::size_t pick : {std::size_t{10}, history.size() / 2, history.size() - 3}) {
+    JobRecord submission = history[pick];
+    submission.job_id = 0;              // not yet in the database
+    submission.start_time = submission.end_time = 0;  // not yet executed
+    const auto label = mcbound.predict_job(submission);
+    std::printf("submit '%s' by %s on %u nodes @%d MHz  ->  predicted %s\n",
+                submission.job_name.c_str(), submission.user_name.c_str(),
+                submission.nodes_requested, frequency_mhz(submission.frequency),
+                label.has_value() ? boundedness_name(*label) : "(no model)");
+  }
+
+  // --- 5. standalone characterization of an executed job ----------------
+  const JobRecord& executed = history[42];
+  const auto metrics = mcbound.job_metrics(executed);
+  const auto truth = mcbound.characterize_job(executed);
+  std::printf("\nexecuted '%s': %.1f GFlop/s/node at %.3f Flops/Byte -> %s (ground truth)\n",
+              executed.job_name.c_str(), metrics->performance_gflops,
+              metrics->operational_intensity, boundedness_name(*truth));
+  return 0;
+}

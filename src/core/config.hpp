@@ -1,0 +1,44 @@
+// Framework configuration: everything a deployment tunes, loadable from
+// JSON so MCBound "can be seamlessly configured and deployed in other
+// HPC systems" (paper abstract). Unknown JSON keys are rejected to catch
+// config typos.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/classification_model.hpp"
+#include "core/feature_encoder.hpp"
+#include "core/workflows.hpp"
+#include "roofline/machine_spec.hpp"
+#include "util/json.hpp"
+
+namespace mcb {
+
+struct FrameworkConfig {
+  MachineSpec machine = fugaku_node_spec();
+  std::vector<JobFeature> features = default_feature_set();
+  EncoderConfig encoder;
+
+  ModelKind model = ModelKind::kRandomForest;
+  KnnConfig knn;
+  RandomForestConfig forest;
+
+  int alpha_days = 15;  ///< paper's best RF setting; use 30 for KNN
+  int beta_days = 1;
+  ThetaConfig theta;
+
+  std::string registry_dir = "mcbound-models";
+  int server_port = 8080;
+
+  Json to_json() const;
+  static std::optional<FrameworkConfig> from_json(const Json& json, std::string* error = nullptr);
+  static std::optional<FrameworkConfig> load_file(const std::string& path,
+                                                  std::string* error = nullptr);
+  bool save_file(const std::string& path) const;
+};
+
+/// Parse a feature name ("user_name", "job_name", ...).
+std::optional<JobFeature> parse_job_feature(const std::string& name);
+
+}  // namespace mcb

@@ -1,0 +1,120 @@
+#include "core/feature_encoder.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace mcb {
+
+const char* job_feature_name(JobFeature feature) noexcept {
+  switch (feature) {
+    case JobFeature::kUserName: return "user_name";
+    case JobFeature::kJobName: return "job_name";
+    case JobFeature::kCoresRequested: return "cores_requested";
+    case JobFeature::kNodesRequested: return "nodes_requested";
+    case JobFeature::kEnvironment: return "environment";
+    case JobFeature::kFrequency: return "frequency";
+  }
+  return "unknown";
+}
+
+std::vector<JobFeature> default_feature_set() {
+  return {JobFeature::kUserName,       JobFeature::kJobName,
+          JobFeature::kCoresRequested, JobFeature::kNodesRequested,
+          JobFeature::kEnvironment,    JobFeature::kFrequency};
+}
+
+const float* EncodingCache::lookup(std::uint64_t job_id) noexcept {
+  const auto it = index_.find(job_id);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return rows_.data() + static_cast<std::size_t>(it->second) * dim_;
+}
+
+void EncodingCache::store(std::uint64_t job_id, std::span<const float> row) {
+  if (row.size() != dim_) return;
+  const auto it = index_.find(job_id);
+  if (it != index_.end()) return;  // already cached
+  const auto slot = static_cast<std::uint32_t>(index_.size());
+  index_.emplace(job_id, slot);
+  rows_.insert(rows_.end(), row.begin(), row.end());
+}
+
+void EncodingCache::clear() {
+  rows_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+FeatureEncoder::FeatureEncoder(std::vector<JobFeature> features, EncoderConfig encoder_config)
+    : features_(std::move(features)), encoder_(std::move(encoder_config)) {}
+
+std::string FeatureEncoder::feature_string(const JobRecord& job) const {
+  std::string out;
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out += ',';
+    switch (features_[i]) {
+      case JobFeature::kUserName: out += job.user_name; break;
+      case JobFeature::kJobName: out += job.job_name; break;
+      case JobFeature::kCoresRequested: out += std::to_string(job.cores_requested); break;
+      case JobFeature::kNodesRequested: out += std::to_string(job.nodes_requested); break;
+      case JobFeature::kEnvironment: out += job.environment; break;
+      case JobFeature::kFrequency: out += std::to_string(frequency_mhz(job.frequency)); break;
+    }
+  }
+  return out;
+}
+
+std::vector<float> FeatureEncoder::encode(const JobRecord& job) const {
+  return encoder_.encode(feature_string(job));
+}
+
+FeatureMatrix FeatureEncoder::encode_batch(std::span<const JobRecord> jobs,
+                                           EncodingCache* cache, ThreadPool* pool) const {
+  FeatureMatrix out(jobs.size(), dim());
+
+  if (cache == nullptr) {
+    parallel_for_each(
+        pool, 0, jobs.size(),
+        [&](std::size_t i) {
+          const auto vec = encode(jobs[i]);
+          std::copy(vec.begin(), vec.end(), out.row(i));
+        },
+        /*grain=*/16);
+    return out;
+  }
+
+  // Cache pass is serial (the cache is not synchronized); the expensive
+  // encoding of misses is farmed out to the pool.
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // job_id 0 marks an anonymous (ad-hoc) job: never cache it, or two
+    // different anonymous jobs would share one embedding.
+    const float* cached = jobs[i].job_id != 0 ? cache->lookup(jobs[i].job_id) : nullptr;
+    if (cached != nullptr) {
+      std::copy(cached, cached + dim(), out.row(i));
+    } else {
+      misses.push_back(i);
+    }
+  }
+  parallel_for_each(
+      pool, 0, misses.size(),
+      [&](std::size_t m) {
+        const std::size_t i = misses[m];
+        const auto vec = encode(jobs[i]);
+        std::copy(vec.begin(), vec.end(), out.row(i));
+      },
+      /*grain=*/16);
+  for (const std::size_t i : misses) {
+    if (jobs[i].job_id != 0) {
+      cache->store(jobs[i].job_id, std::span<const float>(out.row(i), dim()));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcb

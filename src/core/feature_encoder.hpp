@@ -1,0 +1,91 @@
+// Feature Encoder (paper §III-B): selects a subset of submission-time
+// job features, joins their values into a comma-separated string, and
+// encodes that string into a fixed-size float vector.
+//
+// The default feature set is the paper's augmented set for Fugaku
+// (§V-A): user name, job name, #cores requested, #nodes requested,
+// environment, plus frequency requested.
+//
+// Encodings are content-addressed by job id in an EncodingCache so that
+// retraining re-uses the vectors computed by earlier Training/Inference
+// workflow triggers (paper §V-A: "we save the job characterizations and
+// encodings of every trigger ... to avoid redundant computations").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "ml/dataset.hpp"
+#include "text/sentence_encoder.hpp"
+
+namespace mcb {
+
+class ThreadPool;
+
+enum class JobFeature : std::uint8_t {
+  kUserName,
+  kJobName,
+  kCoresRequested,
+  kNodesRequested,
+  kEnvironment,
+  kFrequency,
+};
+
+const char* job_feature_name(JobFeature feature) noexcept;
+
+/// The paper's augmented feature set for Fugaku.
+std::vector<JobFeature> default_feature_set();
+
+/// Reusable job_id -> embedding store shared by the workflows.
+class EncodingCache {
+ public:
+  explicit EncodingCache(std::size_t dim) : dim_(dim) {}
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t size() const noexcept { return index_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Returns the cached row or nullptr; counts a hit/miss.
+  const float* lookup(std::uint64_t job_id) noexcept;
+  void store(std::uint64_t job_id, std::span<const float> row);
+  void clear();
+
+ private:
+  std::size_t dim_;
+  std::vector<float> rows_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(std::vector<JobFeature> features = default_feature_set(),
+                          EncoderConfig encoder_config = {});
+
+  std::size_t dim() const noexcept { return encoder_.dim(); }
+  const std::vector<JobFeature>& features() const noexcept { return features_; }
+  const SentenceEncoder& sentence_encoder() const noexcept { return encoder_; }
+
+  /// The comma-separated feature string fed to the sentence encoder.
+  std::string feature_string(const JobRecord& job) const;
+
+  /// Encode one job.
+  std::vector<float> encode(const JobRecord& job) const;
+
+  /// Encode a batch into a row-major matrix; when `cache` is non-null,
+  /// hits are copied from the cache and misses are computed and stored.
+  FeatureMatrix encode_batch(std::span<const JobRecord> jobs, EncodingCache* cache = nullptr,
+                             ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<JobFeature> features_;
+  SentenceEncoder encoder_;
+};
+
+}  // namespace mcb

@@ -1,0 +1,55 @@
+#include "core/mcbound.hpp"
+
+namespace mcb {
+
+Framework::Framework(FrameworkConfig config, const JobStore& store, ThreadPool* pool)
+    : config_(std::move(config)),
+      store_(&store),
+      fetcher_(store),
+      characterizer_(config_.machine),
+      encoder_(config_.features, config_.encoder),
+      cache_(encoder_.dim()),
+      registry_(config_.registry_dir),
+      pool_(pool) {}
+
+ClassificationModel Framework::make_model() const {
+  return ClassificationModel(config_.model, config_.knn, config_.forest);
+}
+
+TrainingReport Framework::train_now(TimePoint now) {
+  const TimePoint window_start =
+      now - static_cast<std::int64_t>(config_.alpha_days) * kSecondsPerDay;
+  const TrainingWorkflow workflow(fetcher_, characterizer_, encoder_, &cache_, pool_);
+  ClassificationModel candidate = make_model();
+  const TrainingReport report =
+      workflow.run(candidate, window_start, now, config_.theta);
+  if (candidate.is_trained()) {
+    model_version_ = registry_.save(candidate, model_name());
+    model_.emplace(std::move(candidate));
+  }
+  return report;
+}
+
+bool Framework::load_latest_model() {
+  auto loaded = registry_.load(config_.model, model_name());
+  if (!loaded.has_value() || !loaded->is_trained()) return false;
+  model_version_ = registry_.latest_version(model_name());
+  model_.emplace(std::move(*loaded));
+  return true;
+}
+
+std::optional<Boundedness> Framework::predict_job(const JobRecord& job) const {
+  if (!has_model()) return std::nullopt;
+  const InferenceWorkflow workflow(fetcher_, encoder_, &cache_, pool_);
+  const InferenceReport report = workflow.run_jobs(*model_, {&job, 1});
+  if (report.predictions.empty()) return std::nullopt;
+  return to_boundedness(report.predictions.front());
+}
+
+InferenceReport Framework::predict_range(TimePoint start, TimePoint end) const {
+  if (!has_model()) return {};
+  const InferenceWorkflow workflow(fetcher_, encoder_, &cache_, pool_);
+  return workflow.run(*model_, start, end);
+}
+
+}  // namespace mcb

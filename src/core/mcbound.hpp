@@ -1,0 +1,79 @@
+// mcbound::Framework — the top-level facade tying the components of
+// Figure 1 together: Data Fetcher + Job Characterizer + Feature Encoder +
+// Classification Model + model registry, wired by a FrameworkConfig.
+//
+// A deployment constructs one Framework over its jobs data storage and
+// drives it with the two workflows:
+//   framework.train_now(now)        -> Training Workflow (cron, every beta days)
+//   framework.predict_job(job)      -> Inference Workflow (per submission)
+//   framework.predict_range(a, b)   -> Inference Workflow (periodic batch)
+// The HTTP facade in src/serve exposes the same operations over JSON.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/model_registry.hpp"
+#include "core/online_evaluator.hpp"
+#include "core/workflows.hpp"
+#include "data/data_fetcher.hpp"
+
+namespace mcb {
+
+class Framework {
+ public:
+  /// The store is the deployment's jobs data storage; it must outlive
+  /// the framework.
+  Framework(FrameworkConfig config, const JobStore& store, ThreadPool* pool = nullptr);
+
+  const FrameworkConfig& config() const noexcept { return config_; }
+  const Characterizer& characterizer() const noexcept { return characterizer_; }
+  const FeatureEncoder& encoder() const noexcept { return encoder_; }
+  ModelRegistry& registry() noexcept { return registry_; }
+  const JobStore& store() const noexcept { return *store_; }
+
+  bool has_model() const noexcept { return model_.has_value() && model_->is_trained(); }
+  std::optional<std::uint32_t> model_version() const noexcept { return model_version_; }
+  std::string model_name() const { return model_kind_name(config_.model); }
+
+  /// Training Workflow: fetch the trailing alpha-day window ending at
+  /// `now`, characterize, encode, train, and persist a new model version
+  /// to the registry. Returns the report (jobs_used == 0 means the
+  /// window was empty and no model was produced).
+  TrainingReport train_now(TimePoint now);
+
+  /// Load the newest persisted model instead of training (warm restart).
+  bool load_latest_model();
+
+  /// Inference Workflow for one not-yet-executed job.
+  std::optional<Boundedness> predict_job(const JobRecord& job) const;
+
+  /// Inference Workflow for all jobs submitted in [start, end).
+  InferenceReport predict_range(TimePoint start, TimePoint end) const;
+
+  /// Stand-alone characterization of an executed job (paper §VI:
+  /// MCBound as an analysis tool).
+  std::optional<Boundedness> characterize_job(const JobRecord& job) const {
+    return characterizer_.characterize(job);
+  }
+  std::optional<JobMetrics> job_metrics(const JobRecord& job) const {
+    return characterizer_.compute_metrics(job);
+  }
+
+ private:
+  ClassificationModel make_model() const;
+
+  FrameworkConfig config_;
+  const JobStore* store_;
+  StoreDataFetcher fetcher_;
+  Characterizer characterizer_;
+  FeatureEncoder encoder_;
+  mutable EncodingCache cache_;
+  ModelRegistry registry_;
+  ThreadPool* pool_;
+  std::optional<ClassificationModel> model_;
+  std::optional<std::uint32_t> model_version_;
+};
+
+}  // namespace mcb

@@ -1,0 +1,70 @@
+// Online prediction-algorithm evaluator (paper §V-B): simulates the
+// deployed framework over a test period — retrain every beta days on the
+// trailing alpha-day window (or the growing alpha-plus window), predict
+// every job submitted until the next retrain, and score all predictions
+// against the Roofline ground truth at the end (the paper's `evaluate`
+// script).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/workflows.hpp"
+#include "data/job_store.hpp"
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace mcb {
+
+struct OnlineEvalConfig {
+  int alpha_days = 15;        ///< trailing training-window length
+  int beta_days = 1;          ///< retraining period
+  bool growing_window = false;  ///< alpha-plus: never forget old data
+  ThetaConfig theta;
+
+  TimePoint data_start = timepoint_from_ymd(2023, 12, 1);
+  TimePoint test_start = timepoint_from_ymd(2024, 2, 1);
+  TimePoint test_end = timepoint_from_ymd(2024, 3, 1);
+};
+
+struct OnlineEvalResult {
+  ConfusionMatrix confusion{kNumBoundednessClasses};
+  std::size_t retrains = 0;
+  std::size_t predictions = 0;
+  std::size_t skipped_windows = 0;  ///< retrain points with no training data
+
+  OnlineStats train_seconds;           ///< per retrain (model fit only)
+  OnlineStats train_set_size;          ///< jobs per retrain
+  OnlineStats inference_seconds_per_job;  ///< encode + predict, per job
+  OnlineStats encode_seconds_per_job;
+  double total_seconds = 0.0;
+
+  double f1_macro() const { return confusion.f1_macro(); }
+};
+
+class OnlineEvaluator {
+ public:
+  /// The evaluator owns nothing; all collaborators must outlive it.
+  OnlineEvaluator(const JobStore& store, const Characterizer& characterizer,
+                  const FeatureEncoder& encoder, ThreadPool* pool = nullptr);
+
+  /// Run the day-by-day simulation for a model factory. A fresh model is
+  /// built per retrain (matching the paper's full-retrain semantics).
+  OnlineEvalResult evaluate(const std::function<ClassificationModel()>& make_model,
+                            const OnlineEvalConfig& config) const;
+
+  /// Same loop for the (job name, #cores) lookup baseline.
+  OnlineEvalResult evaluate_baseline(const OnlineEvalConfig& config) const;
+
+ private:
+  template <typename TrainFn, typename PredictFn>
+  OnlineEvalResult run_loop(const OnlineEvalConfig& config, TrainFn&& train,
+                            PredictFn&& predict) const;
+
+  const JobStore* store_;
+  const Characterizer* characterizer_;
+  const FeatureEncoder* encoder_;
+  ThreadPool* pool_;
+};
+
+}  // namespace mcb

@@ -1,0 +1,33 @@
+#include "data/data_fetcher.hpp"
+
+namespace mcb {
+
+std::optional<JobRecord> StoreDataFetcher::fetch(std::uint64_t job_id) const {
+  const JobRecord* job = store_->find(job_id);
+  if (job == nullptr) return std::nullopt;
+  return *job;
+}
+
+std::vector<JobRecord> StoreDataFetcher::fetch(TimePoint start_time, TimePoint end_time,
+                                               JobQuery::TimeField field) const {
+  JobQuery q;
+  q.field = field;
+  q.start_time = start_time;
+  q.end_time = end_time;
+  std::vector<JobRecord> out;
+  const auto results = store_->query(q);
+  out.reserve(results.size());
+  for (const JobRecord* job : results) out.push_back(*job);
+  return out;
+}
+
+std::string StoreDataFetcher::render_sql(TimePoint start_time, TimePoint end_time,
+                                         JobQuery::TimeField field) {
+  JobQuery q;
+  q.field = field;
+  q.start_time = start_time;
+  q.end_time = end_time;
+  return q.to_sql();
+}
+
+}  // namespace mcb

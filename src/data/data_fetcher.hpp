@@ -1,0 +1,52 @@
+// Data Fetcher — the paper's storage-abstraction component (§III-A).
+//
+// The Fetcher decouples the rest of the framework from the concrete
+// storage technology. The paper implements it against Fugaku's
+// relational database; we provide the interface plus a JobStore-backed
+// implementation. A deployment against a different backend implements
+// DataFetcher and plugs it into mcbound::Framework.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "data/job_store.hpp"
+
+namespace mcb {
+
+class DataFetcher {
+ public:
+  virtual ~DataFetcher() = default;
+
+  /// Fetch a single job by id (paper: fetch(job_id)).
+  virtual std::optional<JobRecord> fetch(std::uint64_t job_id) const = 0;
+
+  /// Fetch all jobs whose `field` timestamp lies in [start, end)
+  /// (paper: fetch(start_time, end_time)).
+  virtual std::vector<JobRecord> fetch(TimePoint start_time, TimePoint end_time,
+                                       JobQuery::TimeField field =
+                                           JobQuery::TimeField::kEndTime) const = 0;
+};
+
+/// Fetcher over an in-process JobStore (non-owning; the store must
+/// outlive the fetcher).
+class StoreDataFetcher final : public DataFetcher {
+ public:
+  explicit StoreDataFetcher(const JobStore& store) : store_(&store) {}
+
+  std::optional<JobRecord> fetch(std::uint64_t job_id) const override;
+  std::vector<JobRecord> fetch(TimePoint start_time, TimePoint end_time,
+                               JobQuery::TimeField field) const override;
+
+  /// The SQL this fetch would issue against a relational backend.
+  static std::string render_sql(TimePoint start_time, TimePoint end_time,
+                                JobQuery::TimeField field);
+
+ private:
+  const JobStore* store_;
+};
+
+}  // namespace mcb

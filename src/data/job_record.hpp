@@ -1,0 +1,78 @@
+// The job-centric data model.
+//
+// A JobRecord mirrors the fields MCBound needs from the Fugaku operations
+// database (an extension of PBS): submission-time features (available
+// before execution and thus usable for prediction), execution/completion
+// statistics, and the A64FX performance counters used by the Roofline
+// characterizer.
+//
+// Counter semantics on Fugaku (paper §IV-B):
+//   perf2 = FP_FIXED_OPS_SPEC    (fixed-width FP operations)
+//   perf3 = FP_SCALE_OPS_SPEC    (ops per 128-bit SVE slice; x4 for 512-bit)
+//   perf4 = BUS_READ_TOTAL_MEM   (memory read requests, summed per CMG)
+//   perf5 = BUS_WRITE_TOTAL_MEM  (memory write requests, summed per CMG)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mcb {
+
+/// Frequency modes selectable at submission on Fugaku (A64FX).
+enum class FrequencyMode : std::uint8_t {
+  kNormal = 0,  ///< 2.0 GHz
+  kBoost = 1,   ///< 2.2 GHz
+};
+
+inline constexpr int frequency_mhz(FrequencyMode mode) noexcept {
+  return mode == FrequencyMode::kBoost ? 2200 : 2000;
+}
+
+inline const char* frequency_mode_name(FrequencyMode mode) noexcept {
+  return mode == FrequencyMode::kBoost ? "boost" : "normal";
+}
+
+struct JobRecord {
+  // --- identity & submission-time features (usable for prediction) ---
+  std::uint64_t job_id = 0;
+  std::string user_name;          ///< anonymized user, e.g. "u01234"
+  std::string job_name;           ///< script/app name given by the user
+  std::string environment;        ///< toolchain/runtime string, e.g. "lang/tcsds-1.2.38;mpi"
+  std::uint32_t nodes_requested = 1;
+  std::uint32_t cores_requested = 48;
+  FrequencyMode frequency = FrequencyMode::kNormal;
+  TimePoint submit_time = 0;
+
+  // --- execution / completion statistics ---
+  TimePoint start_time = 0;
+  TimePoint end_time = 0;
+  std::uint32_t nodes_allocated = 1;
+  std::int32_t exit_status = 0;
+
+  // --- aggregate A64FX performance counters over the whole job ---
+  double perf2 = 0.0;  ///< FP_FIXED_OPS_SPEC
+  double perf3 = 0.0;  ///< FP_SCALE_OPS_SPEC (128-bit slices)
+  double perf4 = 0.0;  ///< BUS_READ_TOTAL_MEM (CMG-summed)
+  double perf5 = 0.0;  ///< BUS_WRITE_TOTAL_MEM (CMG-summed)
+  double perf6 = 0.0;  ///< Tofu-D interconnect bytes transferred (total)
+
+  // --- power telemetry (F-DATA carries per-job power averages) ---
+  double avg_power_watts = 0.0;  ///< average whole-job power draw
+
+  /// Wall-clock duration in seconds.
+  std::int64_t duration() const noexcept { return end_time - start_time; }
+};
+
+/// CSV header shared by the store export/import (column order contract).
+const std::vector<std::string>& job_csv_header();
+
+/// Serialize one record to CSV fields in job_csv_header() order.
+std::vector<std::string> job_to_csv(const JobRecord& job);
+
+/// Parse a record from CSV fields; returns false on malformed input.
+bool job_from_csv(const std::vector<std::string>& fields, JobRecord& out);
+
+}  // namespace mcb

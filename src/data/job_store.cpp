@@ -1,0 +1,172 @@
+#include "data/job_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace mcb {
+
+std::string JobQuery::to_sql() const {
+  const char* column = field == TimeField::kEndTime ? "end_time" : "submit_time";
+  std::string sql = "SELECT * FROM jobs WHERE ";
+  sql += column;
+  sql += " >= " + std::to_string(start_time);
+  sql += " AND ";
+  sql += column;
+  sql += " < " + std::to_string(end_time);
+  if (user_name.has_value()) sql += " AND user_name = '" + *user_name + "'";
+  if (frequency.has_value()) {
+    sql += " AND freq_mhz = " + std::to_string(frequency_mhz(*frequency));
+  }
+  sql += " ORDER BY ";
+  sql += column;
+  return sql;
+}
+
+bool JobStore::insert(JobRecord job) {
+  if (id_index_.count(job.job_id) > 0) return false;
+  if (!jobs_.empty() && sorted_) {
+    const JobRecord& last = jobs_.back();
+    if (job.end_time < last.end_time ||
+        (job.end_time == last.end_time && job.job_id < last.job_id)) {
+      sorted_ = false;
+      id_index_valid_ = false;
+    }
+  }
+  id_index_.emplace(job.job_id, static_cast<std::uint32_t>(jobs_.size()));
+  jobs_.push_back(std::move(job));
+  submit_index_valid_ = false;
+  return true;
+}
+
+std::size_t JobStore::insert_all(std::vector<JobRecord> jobs) {
+  std::size_t inserted = 0;
+  jobs_.reserve(jobs_.size() + jobs.size());
+  for (auto& job : jobs) {
+    if (insert(std::move(job))) ++inserted;
+  }
+  return inserted;
+}
+
+void JobStore::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(jobs_.begin(), jobs_.end(), [](const JobRecord& a, const JobRecord& b) {
+      return a.end_time != b.end_time ? a.end_time < b.end_time : a.job_id < b.job_id;
+    });
+    sorted_ = true;
+  }
+  if (!id_index_valid_) {
+    auto& index = const_cast<JobStore*>(this)->id_index_;
+    index.clear();
+    index.reserve(jobs_.size());
+    for (std::uint32_t i = 0; i < jobs_.size(); ++i) index.emplace(jobs_[i].job_id, i);
+    id_index_valid_ = true;
+  }
+}
+
+const JobRecord* JobStore::find(std::uint64_t job_id) const {
+  ensure_sorted();
+  const auto it = id_index_.find(job_id);
+  return it != id_index_.end() ? &jobs_[it->second] : nullptr;
+}
+
+std::vector<const JobRecord*> JobStore::query(const JobQuery& q) const {
+  ensure_sorted();
+  std::vector<const JobRecord*> out;
+
+  const auto matches_filters = [&q](const JobRecord& job) {
+    if (q.user_name.has_value() && job.user_name != *q.user_name) return false;
+    if (q.frequency.has_value() && job.frequency != *q.frequency) return false;
+    return true;
+  };
+
+  if (q.field == JobQuery::TimeField::kEndTime) {
+    const auto lo = std::lower_bound(jobs_.begin(), jobs_.end(), q.start_time,
+                                     [](const JobRecord& j, TimePoint t) { return j.end_time < t; });
+    for (auto it = lo; it != jobs_.end() && it->end_time < q.end_time; ++it) {
+      if (matches_filters(*it)) out.push_back(&*it);
+    }
+    return out;
+  }
+
+  // submit_time queries go through the secondary index.
+  if (!submit_index_valid_) {
+    by_submit_.resize(jobs_.size());
+    for (std::uint32_t i = 0; i < jobs_.size(); ++i) by_submit_[i] = i;
+    std::sort(by_submit_.begin(), by_submit_.end(), [this](std::uint32_t a, std::uint32_t b) {
+      return jobs_[a].submit_time != jobs_[b].submit_time
+                 ? jobs_[a].submit_time < jobs_[b].submit_time
+                 : jobs_[a].job_id < jobs_[b].job_id;
+    });
+    submit_index_valid_ = true;
+  }
+  const auto lo = std::lower_bound(
+      by_submit_.begin(), by_submit_.end(), q.start_time,
+      [this](std::uint32_t idx, TimePoint t) { return jobs_[idx].submit_time < t; });
+  for (auto it = lo; it != by_submit_.end() && jobs_[*it].submit_time < q.end_time; ++it) {
+    if (matches_filters(jobs_[*it])) out.push_back(&jobs_[*it]);
+  }
+  return out;
+}
+
+std::span<const JobRecord> JobStore::all() const {
+  ensure_sorted();
+  return {jobs_.data(), jobs_.size()};
+}
+
+TimePoint JobStore::min_end_time() const {
+  ensure_sorted();
+  return jobs_.empty() ? 0 : jobs_.front().end_time;
+}
+
+TimePoint JobStore::max_end_time() const {
+  ensure_sorted();
+  return jobs_.empty() ? 0 : jobs_.back().end_time;
+}
+
+bool JobStore::save_csv(const std::string& path) const {
+  ensure_sorted();
+  std::ofstream out(path);
+  if (!out) return false;
+  CsvWriter writer(out);
+  writer.write_row(job_csv_header());
+  for (const auto& job : jobs_) writer.write_row(job_to_csv(job));
+  return static_cast<bool>(out);
+}
+
+bool JobStore::load_csv(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  jobs_.clear();
+  id_index_.clear();
+  sorted_ = true;
+  id_index_valid_ = true;
+  submit_index_valid_ = false;
+
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  if (!reader.next_row(fields) || fields != job_csv_header()) {
+    if (error != nullptr) *error = "missing or mismatched CSV header in " + path;
+    return false;
+  }
+  std::size_t line = 1;
+  while (reader.next_row(fields)) {
+    ++line;
+    JobRecord job;
+    if (!job_from_csv(fields, job)) {
+      if (error != nullptr) *error = "malformed record at data row " + std::to_string(line);
+      return false;
+    }
+    if (!insert(std::move(job))) {
+      if (error != nullptr) *error = "duplicate job id at data row " + std::to_string(line);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcb

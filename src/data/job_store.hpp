@@ -1,0 +1,87 @@
+// JobStore — the "jobs data storage" substrate.
+//
+// On Fugaku the operations software records every job in a relational
+// database; MCBound's Data Fetcher issues time-range SQL queries against
+// it. Here the store is an embeddable in-memory table with:
+//   * O(1) lookup by job id,
+//   * O(log n + k) range scans over end_time (jobs *executed* in a
+//     window — what the Training Workflow fetches) and over submit_time
+//     (what the Inference Workflow fetches),
+//   * CSV persistence (our stand-in for the F-DATA export).
+//
+// Records are kept sorted by end_time; insertion is amortized append
+// (the workload generator emits jobs roughly in completion order) with a
+// lazy re-sort when out-of-order inserts accumulate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "util/time.hpp"
+
+namespace mcb {
+
+/// Declarative range query; `to_sql()` renders the equivalent SQL the
+/// Fugaku deployment would issue (used for logging and tested for
+/// fidelity with the paper's description of the Data Fetcher).
+struct JobQuery {
+  enum class TimeField { kEndTime, kSubmitTime };
+
+  TimeField field = TimeField::kEndTime;
+  TimePoint start_time = 0;                 ///< inclusive
+  TimePoint end_time = 0;                   ///< exclusive
+  std::optional<std::string> user_name;     ///< optional equality filter
+  std::optional<FrequencyMode> frequency;   ///< optional equality filter
+
+  std::string to_sql() const;
+};
+
+class JobStore {
+ public:
+  JobStore() = default;
+
+  /// Insert one record. Duplicate job ids are rejected (returns false).
+  bool insert(JobRecord job);
+
+  /// Bulk insert; returns the number of records actually inserted.
+  std::size_t insert_all(std::vector<JobRecord> jobs);
+
+  std::size_t size() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return jobs_.empty(); }
+
+  /// Lookup by id; nullptr if absent. Pointers are invalidated by insert.
+  const JobRecord* find(std::uint64_t job_id) const;
+
+  /// Execute a range query; results ordered by the queried time field.
+  std::vector<const JobRecord*> query(const JobQuery& q) const;
+
+  /// All records ordered by end_time (stable view for analysis passes).
+  std::span<const JobRecord> all() const;
+
+  /// Earliest / latest end_time in the store (0 if empty).
+  TimePoint min_end_time() const;
+  TimePoint max_end_time() const;
+
+  /// CSV persistence. save() writes header + one row per record;
+  /// load() replaces the store contents. Both return false on I/O or
+  /// parse failure (load leaves a partially-filled store on failure).
+  bool save_csv(const std::string& path) const;
+  bool load_csv(const std::string& path, std::string* error = nullptr);
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<JobRecord> jobs_;       // sorted by (end_time, job_id)
+  mutable bool sorted_ = true;
+  mutable std::vector<std::uint32_t> by_submit_;  // indices sorted by submit_time
+  mutable bool submit_index_valid_ = false;
+  std::unordered_map<std::uint64_t, std::uint32_t> id_index_;  // id -> slot
+  mutable bool id_index_valid_ = true;
+};
+
+}  // namespace mcb

@@ -1,0 +1,103 @@
+#include "ml/baseline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace mcb {
+
+LookupBaseline::LookupBaseline(std::size_t n_classes)
+    : n_classes_(std::max<std::size_t>(n_classes, 2)),
+      global_counts_(n_classes_, 0) {}
+
+std::string LookupBaseline::encode_key(const Key& key) {
+  return key.job_name + '\x1f' + std::to_string(key.cores_requested);
+}
+
+void LookupBaseline::fit(std::span<const Key> keys, std::span<const Label> labels) {
+  if (keys.size() != labels.size()) throw std::invalid_argument("baseline: size mismatch");
+  table_.clear();
+  global_counts_.assign(n_classes_, 0);
+  total_ = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Label l = labels[i];
+    if (l < 0 || static_cast<std::size_t>(l) >= n_classes_) {
+      throw std::invalid_argument("baseline: label out of range");
+    }
+    auto [it, inserted] =
+        table_.try_emplace(encode_key(keys[i]), std::vector<std::uint32_t>(n_classes_, 0));
+    (void)inserted;
+    ++it->second[static_cast<std::size_t>(l)];
+    ++global_counts_[static_cast<std::size_t>(l)];
+    ++total_;
+  }
+}
+
+Label LookupBaseline::predict_one(const Key& key) const {
+  const auto majority = [](std::span<const std::uint32_t> counts) {
+    Label best = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c) {
+      if (counts[c] > counts[static_cast<std::size_t>(best)]) best = static_cast<Label>(c);
+    }
+    return best;
+  };
+  const auto it = table_.find(encode_key(key));
+  if (it != table_.end()) return majority(it->second);
+
+  Label best = 0;
+  for (std::size_t c = 1; c < global_counts_.size(); ++c) {
+    if (global_counts_[c] > global_counts_[static_cast<std::size_t>(best)]) {
+      best = static_cast<Label>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<Label> LookupBaseline::predict(std::span<const Key> keys) const {
+  std::vector<Label> out;
+  out.reserve(keys.size());
+  std::size_t fallbacks = 0;
+  for (const Key& key : keys) {
+    if (table_.find(encode_key(key)) == table_.end()) ++fallbacks;
+    out.push_back(predict_one(key));
+  }
+  last_fallback_rate_ =
+      keys.empty() ? 0.0 : static_cast<double>(fallbacks) / static_cast<double>(keys.size());
+  return out;
+}
+
+bool LookupBaseline::save(std::ostream& out) const {
+  io::write_header(out, io::kKindBaseline);
+  io::write_pod(out, static_cast<std::uint64_t>(n_classes_));
+  io::write_pod(out, total_);
+  io::write_vec(out, global_counts_);
+  io::write_pod(out, static_cast<std::uint64_t>(table_.size()));
+  for (const auto& [key, counts] : table_) {
+    io::write_string(out, key);
+    io::write_vec(out, counts);
+  }
+  return static_cast<bool>(out);
+}
+
+bool LookupBaseline::load(std::istream& in) {
+  std::uint32_t kind = 0;
+  if (!io::read_header(in, kind) || kind != io::kKindBaseline) return false;
+  std::uint64_t n_classes = 0, entries = 0;
+  if (!io::read_pod(in, n_classes) || n_classes < 2 || n_classes > 4096) return false;
+  if (!io::read_pod(in, total_)) return false;
+  if (!io::read_vec(in, global_counts_)) return false;
+  if (!io::read_pod(in, entries) || entries > (1ULL << 28)) return false;
+  n_classes_ = static_cast<std::size_t>(n_classes);
+  table_.clear();
+  table_.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::string key;
+    std::vector<std::uint32_t> counts;
+    if (!io::read_string(in, key) || !io::read_vec(in, counts)) return false;
+    table_.emplace(std::move(key), std::move(counts));
+  }
+  return true;
+}
+
+}  // namespace mcb

@@ -1,0 +1,55 @@
+// The paper's comparison baseline (§V-C a): a lookup table mapping the
+// tuple (job name, #cores requested) to a memory/compute-bound label —
+// "a KNN with k = 1 on the features job name, #cores requested". The
+// table keeps per-key class counts so repeated training observations
+// vote; unseen keys fall back to the global majority class.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace mcb {
+
+class LookupBaseline {
+ public:
+  struct Key {
+    std::string job_name;
+    std::uint32_t cores_requested = 0;
+  };
+
+  explicit LookupBaseline(std::size_t n_classes = 2);
+
+  /// Replace the table with counts from the given training window
+  /// (matches the online algorithm's full retrain semantics).
+  void fit(std::span<const Key> keys, std::span<const Label> labels);
+
+  bool is_fitted() const noexcept { return total_ > 0; }
+  std::size_t n_classes() const noexcept { return n_classes_; }
+  std::size_t table_size() const noexcept { return table_.size(); }
+
+  Label predict_one(const Key& key) const;
+  std::vector<Label> predict(std::span<const Key> keys) const;
+
+  /// Fraction of predictions that fell back to the global majority.
+  double last_fallback_rate() const noexcept { return last_fallback_rate_; }
+
+  bool save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+ private:
+  static std::string encode_key(const Key& key);
+
+  std::size_t n_classes_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> table_;
+  std::vector<std::uint64_t> global_counts_;
+  std::uint64_t total_ = 0;
+  mutable double last_fallback_rate_ = 0.0;
+};
+
+}  // namespace mcb

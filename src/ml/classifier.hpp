@@ -1,0 +1,38 @@
+// Common interface implemented by every Classification Model algorithm
+// (paper §III-D: "it is possible to implement any data-driven prediction
+// algorithm"). The online framework (src/core) programs against this.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace mcb {
+
+class ThreadPool;
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on (X, y); y values must lie in [0, n_classes).
+  virtual void fit(FeatureView x, std::span<const Label> y) = 0;
+
+  /// Predict labels for a batch. Must be called after fit().
+  virtual std::vector<Label> predict(FeatureView x, ThreadPool* pool = nullptr) const = 0;
+
+  virtual bool is_fitted() const noexcept = 0;
+  virtual std::string name() const = 0;
+  virtual std::size_t n_classes() const noexcept = 0;
+
+  /// Binary (de)serialization, used by the model registry (skops
+  /// substitute). Both return false on malformed streams.
+  virtual bool save(std::ostream& out) const = 0;
+  virtual bool load(std::istream& in) = 0;
+};
+
+}  // namespace mcb

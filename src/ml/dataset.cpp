@@ -1,0 +1,16 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+namespace mcb {
+
+FeatureMatrix FeatureMatrix::gather(std::span<const std::size_t> indices) const {
+  FeatureMatrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i));
+  }
+  return out;
+}
+
+}  // namespace mcb

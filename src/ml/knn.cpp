@@ -1,0 +1,148 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcb {
+
+KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
+  if (config_.k == 0) config_.k = 1;
+}
+
+void KnnClassifier::fit(FeatureView x, std::span<const Label> y) {
+  if (x.rows != y.size()) throw std::invalid_argument("knn: rows/labels mismatch");
+  if (x.rows == 0) throw std::invalid_argument("knn: empty training set");
+  dim_ = x.cols;
+  train_data_.assign(x.data, x.data + x.rows * x.cols);
+  labels_.assign(y.begin(), y.end());
+  n_classes_ = 0;
+  for (const Label l : labels_) {
+    if (l < 0) throw std::invalid_argument("knn: negative label");
+    n_classes_ = std::max(n_classes_, static_cast<std::size_t>(l) + 1);
+  }
+  train_norms_.resize(x.rows);
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const float* row = train_data_.data() + i * dim_;
+    double n2 = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
+    train_norms_[i] = static_cast<float>(n2);
+  }
+}
+
+void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
+                               std::vector<double>& dist) const {
+  const std::size_t n = labels_.size();
+  const std::size_t k = std::min(config_.k, n);
+  idx.assign(k, 0);
+  dist.assign(k, std::numeric_limits<double>::infinity());
+
+  // Insertion into a size-k sorted buffer; k is tiny (default 5) so the
+  // shift is cheaper than heap bookkeeping.
+  const auto consider = [&](std::size_t row, double d) {
+    if (d >= dist.back()) return;
+    std::size_t pos = k - 1;
+    while (pos > 0 && dist[pos - 1] > d) {
+      dist[pos] = dist[pos - 1];
+      idx[pos] = idx[pos - 1];
+      --pos;
+    }
+    dist[pos] = d;
+    idx[pos] = row;
+  };
+
+  if (config_.minkowski_p == 2.0) {
+    // Squared-distance scan via dot products (monotone in the true
+    // distance, so ranking is unaffected).
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = train_data_.data() + i * dim_;
+      float dot = 0.0F;
+      for (std::size_t j = 0; j < dim_; ++j) dot += row[j] * query[j];
+      const double d = static_cast<double>(train_norms_[i]) - 2.0 * static_cast<double>(dot);
+      consider(i, d);  // query norm is constant across rows; omitted
+    }
+  } else {
+    const double p = config_.minkowski_p;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = train_data_.data() + i * dim_;
+      double sum = 0.0;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        sum += std::pow(std::abs(static_cast<double>(row[j]) - query[j]), p);
+      }
+      consider(i, sum);  // comparing sums ~ comparing p-th roots
+    }
+  }
+}
+
+Label KnnClassifier::predict_one(std::span<const float> query) const {
+  thread_local std::vector<std::size_t> idx;
+  thread_local std::vector<double> dist;
+  top_k_scan(query, idx, dist);
+
+  // Majority vote; ties go to the lowest class id (sklearn behaviour).
+  std::vector<std::uint32_t> votes(n_classes_, 0);
+  for (const std::size_t i : idx) ++votes[static_cast<std::size_t>(labels_[i])];
+  Label best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<std::size_t>(best)]) best = static_cast<Label>(c);
+  }
+  return best;
+}
+
+std::vector<Label> KnnClassifier::predict(FeatureView x, ThreadPool* pool) const {
+  if (!is_fitted()) throw std::logic_error("knn: predict before fit");
+  if (x.cols != dim_) throw std::invalid_argument("knn: query dimension mismatch");
+  std::vector<Label> out(x.rows, 0);
+  parallel_for_each(
+      pool, 0, x.rows, [&](std::size_t i) { out[i] = predict_one(x.row(i)); },
+      /*grain=*/8);
+  return out;
+}
+
+std::vector<std::size_t> KnnClassifier::kneighbors(std::span<const float> query) const {
+  if (!is_fitted()) throw std::logic_error("knn: kneighbors before fit");
+  std::vector<std::size_t> idx;
+  std::vector<double> dist;
+  top_k_scan(query, idx, dist);
+  return idx;
+}
+
+bool KnnClassifier::save(std::ostream& out) const {
+  io::write_header(out, io::kKindKnn);
+  io::write_pod(out, static_cast<std::uint64_t>(config_.k));
+  io::write_pod(out, config_.minkowski_p);
+  io::write_pod(out, static_cast<std::uint64_t>(dim_));
+  io::write_pod(out, static_cast<std::uint64_t>(n_classes_));
+  io::write_vec(out, train_data_);
+  io::write_vec(out, labels_);
+  return static_cast<bool>(out);
+}
+
+bool KnnClassifier::load(std::istream& in) {
+  std::uint32_t kind = 0;
+  if (!io::read_header(in, kind) || kind != io::kKindKnn) return false;
+  std::uint64_t k = 0, dim = 0, n_classes = 0;
+  if (!io::read_pod(in, k) || !io::read_pod(in, config_.minkowski_p) ||
+      !io::read_pod(in, dim) || !io::read_pod(in, n_classes)) {
+    return false;
+  }
+  if (!io::read_vec(in, train_data_) || !io::read_vec(in, labels_)) return false;
+  config_.k = static_cast<std::size_t>(k);
+  dim_ = static_cast<std::size_t>(dim);
+  n_classes_ = static_cast<std::size_t>(n_classes);
+  if (dim_ == 0 || labels_.size() * dim_ != train_data_.size()) return false;
+  train_norms_.resize(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const float* row = train_data_.data() + i * dim_;
+    double n2 = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
+    train_norms_[i] = static_cast<float>(n2);
+  }
+  return true;
+}
+
+}  // namespace mcb

@@ -1,0 +1,62 @@
+// k-Nearest-Neighbors classifier (paper §III-D "KNN").
+//
+// Mirrors scikit-learn's KNeighborsClassifier defaults: k = 5, Minkowski
+// distance with p = 2, majority vote with ties broken toward the lower
+// class id. Training only stores the data ("just building a model
+// instance", §V-C); all the work happens at inference.
+//
+// The inner loop is a blocked brute-force scan. For p = 2 we expand
+// ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2 and precompute the training-row
+// norms, turning the scan into dot products that the compiler
+// auto-vectorizes; for general p the direct Minkowski sum is used.
+// Queries are embarrassingly parallel across the thread pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace mcb {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  double minkowski_p = 2.0;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnConfig config = {});
+
+  void fit(FeatureView x, std::span<const Label> y) override;
+  std::vector<Label> predict(FeatureView x, ThreadPool* pool = nullptr) const override;
+
+  bool is_fitted() const noexcept override { return !labels_.empty(); }
+  std::string name() const override { return "knn"; }
+  std::size_t n_classes() const noexcept override { return n_classes_; }
+  std::size_t train_size() const noexcept { return labels_.size(); }
+  const KnnConfig& config() const noexcept { return config_; }
+
+  /// Indices of the k nearest training rows to `query` (ascending
+  /// distance). Exposed for tests and for the future-work "similar jobs"
+  /// use cases the paper sketches (§VI).
+  std::vector<std::size_t> kneighbors(std::span<const float> query) const;
+
+  bool save(std::ostream& out) const override;
+  bool load(std::istream& in) override;
+
+ private:
+  Label predict_one(std::span<const float> query) const;
+  void top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
+                  std::vector<double>& dist) const;
+
+  KnnConfig config_;
+  std::size_t dim_ = 0;
+  std::size_t n_classes_ = 0;
+  std::vector<float> train_data_;   // row-major n x dim
+  std::vector<float> train_norms_;  // ||x||^2 per row (p == 2 fast path)
+  std::vector<Label> labels_;
+};
+
+}  // namespace mcb

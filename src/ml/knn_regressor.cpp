@@ -1,0 +1,151 @@
+#include "ml/knn_regressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcb {
+
+namespace io {
+inline constexpr std::uint32_t kKindKnnRegressor = 4;
+}  // namespace io
+
+KnnRegressor::KnnRegressor(KnnRegressorConfig config) : config_(config) {
+  if (config_.k == 0) config_.k = 1;
+}
+
+void KnnRegressor::fit(FeatureView x, std::span<const double> y) {
+  if (x.rows != y.size()) throw std::invalid_argument("knn_regressor: rows/targets mismatch");
+  if (x.rows == 0) throw std::invalid_argument("knn_regressor: empty training set");
+  dim_ = x.cols;
+  train_data_.assign(x.data, x.data + x.rows * x.cols);
+  targets_.assign(y.begin(), y.end());
+  train_norms_.resize(x.rows);
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const float* row = train_data_.data() + i * dim_;
+    double n2 = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
+    train_norms_[i] = static_cast<float>(n2);
+  }
+}
+
+double KnnRegressor::predict_one(std::span<const float> query) const {
+  const std::size_t n = targets_.size();
+  const std::size_t k = std::min(config_.k, n);
+  thread_local std::vector<std::size_t> idx;
+  thread_local std::vector<double> dist;
+  idx.assign(k, 0);
+  dist.assign(k, std::numeric_limits<double>::infinity());
+
+  const auto consider = [&](std::size_t row, double d) {
+    if (d >= dist.back()) return;
+    std::size_t pos = k - 1;
+    while (pos > 0 && dist[pos - 1] > d) {
+      dist[pos] = dist[pos - 1];
+      idx[pos] = idx[pos - 1];
+      --pos;
+    }
+    dist[pos] = d;
+    idx[pos] = row;
+  };
+
+  double query_norm = 0.0;
+  for (const float q : query) query_norm += static_cast<double>(q) * q;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = train_data_.data() + i * dim_;
+    float dot = 0.0F;
+    for (std::size_t j = 0; j < dim_; ++j) dot += row[j] * query[j];
+    consider(i, query_norm + static_cast<double>(train_norms_[i]) -
+                    2.0 * static_cast<double>(dot));
+  }
+
+  if (!config_.distance_weighted) {
+    double sum = 0.0;
+    for (const std::size_t i : idx) sum += targets_[i];
+    return sum / static_cast<double>(k);
+  }
+  // Inverse-distance weighting; exact matches dominate (epsilon floor).
+  double weighted = 0.0, total_weight = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double w = 1.0 / (std::sqrt(std::max(dist[j], 0.0)) + 1e-9);
+    weighted += w * targets_[idx[j]];
+    total_weight += w;
+  }
+  return weighted / total_weight;
+}
+
+std::vector<double> KnnRegressor::predict(FeatureView x, ThreadPool* pool) const {
+  if (!is_fitted()) throw std::logic_error("knn_regressor: predict before fit");
+  if (x.cols != dim_) throw std::invalid_argument("knn_regressor: dimension mismatch");
+  std::vector<double> out(x.rows, 0.0);
+  parallel_for_each(
+      pool, 0, x.rows, [&](std::size_t i) { out[i] = predict_one(x.row(i)); },
+      /*grain=*/8);
+  return out;
+}
+
+bool KnnRegressor::save(std::ostream& out) const {
+  io::write_header(out, io::kKindKnnRegressor);
+  io::write_pod(out, static_cast<std::uint64_t>(config_.k));
+  io::write_pod(out, config_.distance_weighted);
+  io::write_pod(out, static_cast<std::uint64_t>(dim_));
+  io::write_vec(out, train_data_);
+  io::write_vec(out, targets_);
+  return static_cast<bool>(out);
+}
+
+bool KnnRegressor::load(std::istream& in) {
+  std::uint32_t kind = 0;
+  if (!io::read_header(in, kind) || kind != io::kKindKnnRegressor) return false;
+  std::uint64_t k = 0, dim = 0;
+  if (!io::read_pod(in, k) || !io::read_pod(in, config_.distance_weighted) ||
+      !io::read_pod(in, dim)) {
+    return false;
+  }
+  if (!io::read_vec(in, train_data_) || !io::read_vec(in, targets_)) return false;
+  config_.k = static_cast<std::size_t>(k);
+  dim_ = static_cast<std::size_t>(dim);
+  if (dim_ == 0 || targets_.size() * dim_ != train_data_.size()) return false;
+  train_norms_.resize(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const float* row = train_data_.data() + i * dim_;
+    double n2 = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
+    train_norms_[i] = static_cast<float>(n2);
+  }
+  return true;
+}
+
+RegressionMetrics evaluate_regression(std::span<const double> truth,
+                                      std::span<const double> predicted) {
+  RegressionMetrics metrics;
+  const std::size_t n = std::min(truth.size(), predicted.size());
+  if (n == 0) return metrics;
+  double abs_sum = 0.0, pct_sum = 0.0, mean = 0.0;
+  std::size_t pct_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    abs_sum += std::abs(truth[i] - predicted[i]);
+    if (truth[i] > 0.0) {
+      pct_sum += std::abs(truth[i] - predicted[i]) / truth[i];
+      ++pct_n;
+    }
+    mean += truth[i];
+  }
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  metrics.mae = abs_sum / static_cast<double>(n);
+  metrics.mape = pct_n > 0 ? pct_sum / static_cast<double>(pct_n) : 0.0;
+  metrics.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  metrics.n = n;
+  return metrics;
+}
+
+}  // namespace mcb

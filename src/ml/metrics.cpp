@@ -1,0 +1,99 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mcb {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(std::max<std::size_t>(n_classes, 1)), cells_(n_ * n_, 0) {}
+
+void ConfusionMatrix::add(Label truth, Label predicted) noexcept {
+  if (truth < 0 || predicted < 0) return;
+  const auto t = static_cast<std::size_t>(truth);
+  const auto p = static_cast<std::size_t>(predicted);
+  if (t >= n_ || p >= n_) return;
+  ++cells_[t * n_ + p];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(std::span<const Label> truth, std::span<const Label> predicted) {
+  const std::size_t n = std::min(truth.size(), predicted.size());
+  for (std::size_t i = 0; i < n; ++i) add(truth[i], predicted[i]);
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.n_ != n_) return;
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+std::uint64_t ConfusionMatrix::count(Label truth, Label predicted) const {
+  return cells_.at(static_cast<std::size_t>(truth) * n_ + static_cast<std::size_t>(predicted));
+}
+
+std::uint64_t ConfusionMatrix::support(Label cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < n_; ++p) sum += cells_[c * n_ + p];
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += cells_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(Label cls) const noexcept {
+  const auto c = static_cast<std::size_t>(cls);
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += cells_[t * n_ + c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[c * n_ + c]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(Label cls) const noexcept {
+  const std::uint64_t actual = support(cls);
+  if (actual == 0) return 0.0;
+  const auto c = static_cast<std::size_t>(cls);
+  return static_cast<double>(cells_[c * n_ + c]) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(Label cls) const noexcept {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::f1_macro() const noexcept {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) sum += f1(static_cast<Label>(c));
+  return sum / static_cast<double>(n_);
+}
+
+std::string ConfusionMatrix::render(const std::vector<std::string>& class_names) const {
+  std::string out = "truth \\ pred";
+  for (std::size_t c = 0; c < n_; ++c) {
+    out += '\t';
+    out += c < class_names.size() ? class_names[c] : "class" + std::to_string(c);
+  }
+  out += '\n';
+  for (std::size_t t = 0; t < n_; ++t) {
+    out += t < class_names.size() ? class_names[t] : "class" + std::to_string(t);
+    for (std::size_t p = 0; p < n_; ++p) {
+      out += '\t';
+      out += std::to_string(cells_[t * n_ + p]);
+    }
+    out += '\n';
+  }
+  char foot[128];
+  std::snprintf(foot, sizeof(foot), "accuracy=%.4f f1_macro=%.4f n=%llu\n", accuracy(),
+                f1_macro(), static_cast<unsigned long long>(total_));
+  out += foot;
+  return out;
+}
+
+}  // namespace mcb

@@ -1,0 +1,44 @@
+// Classification quality metrics (paper §V-B: F1-macro average, the mean
+// of per-class F1 scores, each the harmonic mean of precision and recall).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace mcb {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  /// Count one (truth, prediction) pair. Out-of-range labels are ignored.
+  void add(Label truth, Label predicted) noexcept;
+  void add_all(std::span<const Label> truth, std::span<const Label> predicted);
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t n_classes() const noexcept { return n_; }
+  std::uint64_t count(Label truth, Label predicted) const;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t support(Label cls) const;  ///< # samples whose truth == cls
+
+  double accuracy() const noexcept;
+  double precision(Label cls) const noexcept;  ///< 0 when undefined
+  double recall(Label cls) const noexcept;
+  double f1(Label cls) const noexcept;
+  /// Macro-averaged F1 over all classes (the paper's headline metric).
+  double f1_macro() const noexcept;
+
+  /// Render with class names (row = truth, column = predicted).
+  std::string render(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> cells_;  // truth * n_ + predicted
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcb

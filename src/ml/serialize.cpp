@@ -1,0 +1,31 @@
+#include "ml/serialize.hpp"
+
+namespace mcb::io {
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::istream& in, std::string& s, std::uint64_t max_len) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, n) || n > max_len) return false;
+  s.resize(n);
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+void write_header(std::ostream& out, std::uint32_t model_kind) {
+  write_pod(out, kModelMagic);
+  write_pod(out, kFormatVersion);
+  write_pod(out, model_kind);
+}
+
+bool read_header(std::istream& in, std::uint32_t& model_kind) {
+  std::uint32_t magic = 0, version = 0;
+  if (!read_pod(in, magic) || magic != kModelMagic) return false;
+  if (!read_pod(in, version) || version != kFormatVersion) return false;
+  return read_pod(in, model_kind);
+}
+
+}  // namespace mcb::io

@@ -1,0 +1,66 @@
+// Binary serialization primitives for model persistence (the repo's
+// substitute for skops.io). Little-endian PODs with length-prefixed
+// vectors/strings; every model file begins with a 4-byte magic and a
+// format version so the registry can reject foreign or stale files.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mcb::io {
+
+inline constexpr std::uint32_t kModelMagic = 0x4D43424DU;  // "MCBM"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& vec) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(out, static_cast<std::uint64_t>(vec.size()));
+  if (!vec.empty()) {
+    out.write(reinterpret_cast<const char*>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool read_vec(std::istream& in, std::vector<T>& vec, std::uint64_t max_elems = (1ULL << 32)) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t n = 0;
+  if (!read_pod(in, n) || n > max_elems) return false;
+  vec.resize(n);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(vec.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+void write_string(std::ostream& out, const std::string& s);
+bool read_string(std::istream& in, std::string& s, std::uint64_t max_len = (1ULL << 24));
+
+/// Write magic + format version + a model-kind tag.
+void write_header(std::ostream& out, std::uint32_t model_kind);
+/// Validate magic/version and return the model-kind tag via out-param.
+bool read_header(std::istream& in, std::uint32_t& model_kind);
+
+inline constexpr std::uint32_t kKindKnn = 1;
+inline constexpr std::uint32_t kKindRandomForest = 2;
+inline constexpr std::uint32_t kKindBaseline = 3;
+
+}  // namespace mcb::io

@@ -1,0 +1,127 @@
+#include "roofline/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mcb {
+
+std::uint64_t JobTypeBreakdown::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& row : counts)
+    for (const auto c : row) sum += c;
+  return sum;
+}
+
+std::uint64_t JobTypeBreakdown::by_label(Boundedness b) const noexcept {
+  const auto i = static_cast<std::size_t>(b);
+  return counts[0][i] + counts[1][i];
+}
+
+std::uint64_t JobTypeBreakdown::by_frequency(FrequencyMode f) const noexcept {
+  const auto i = static_cast<std::size_t>(f);
+  return counts[i][0] + counts[i][1];
+}
+
+double JobTypeBreakdown::memory_to_compute_ratio() const noexcept {
+  const auto comp = by_label(Boundedness::kComputeBound);
+  if (comp == 0) return 0.0;
+  return static_cast<double>(by_label(Boundedness::kMemoryBound)) / static_cast<double>(comp);
+}
+
+double JobTypeBreakdown::memory_bound_normal_fraction() const noexcept {
+  const auto mem = by_label(Boundedness::kMemoryBound);
+  if (mem == 0) return 0.0;
+  return static_cast<double>(at(FrequencyMode::kNormal, Boundedness::kMemoryBound)) /
+         static_cast<double>(mem);
+}
+
+double JobTypeBreakdown::compute_bound_boost_fraction() const noexcept {
+  const auto comp = by_label(Boundedness::kComputeBound);
+  if (comp == 0) return 0.0;
+  return static_cast<double>(at(FrequencyMode::kBoost, Boundedness::kComputeBound)) /
+         static_cast<double>(comp);
+}
+
+RooflineAnalysis analyze_jobs(const Characterizer& characterizer,
+                              std::span<const JobRecord> jobs) {
+  RooflineAnalysis analysis;
+  analysis.jobs.reserve(jobs.size());
+  for (const JobRecord& job : jobs) {
+    const auto metrics = characterizer.compute_metrics(job);
+    if (!metrics.has_value()) {
+      ++analysis.skipped;
+      continue;
+    }
+    CharacterizedJob cj;
+    cj.job = &job;
+    cj.metrics = *metrics;
+    cj.label = characterizer.classify_intensity(metrics->operational_intensity);
+    analysis.breakdown.counts[static_cast<std::size_t>(job.frequency)]
+                             [static_cast<std::size_t>(cj.label)] += 1;
+    analysis.jobs.push_back(cj);
+  }
+  return analysis;
+}
+
+double RooflineAnalysis::fraction_near_roofline(const Characterizer& characterizer,
+                                                double fraction) const {
+  if (jobs.empty()) return 0.0;
+  std::size_t near = 0;
+  for (const auto& cj : jobs) {
+    const double roof = characterizer.spec().attainable_gflops(
+        cj.metrics.operational_intensity);
+    if (roof > 0.0 && cj.metrics.performance_gflops >= fraction * roof) ++near;
+  }
+  return static_cast<double>(near) / static_cast<double>(jobs.size());
+}
+
+double RooflineAnalysis::frequency_intensity_correlation() const {
+  std::vector<double> freq, log_op;
+  freq.reserve(jobs.size());
+  log_op.reserve(jobs.size());
+  for (const auto& cj : jobs) {
+    if (!std::isfinite(cj.metrics.operational_intensity) ||
+        cj.metrics.operational_intensity <= 0.0) {
+      continue;
+    }
+    freq.push_back(cj.job->frequency == FrequencyMode::kBoost ? 1.0 : 0.0);
+    log_op.push_back(std::log10(cj.metrics.operational_intensity));
+  }
+  return pearson_correlation(freq, log_op);
+}
+
+LogGrid2D roofline_grid(const RooflineAnalysis& analysis, std::size_t x_bins,
+                        std::size_t y_bins, const FrequencyMode* frequency) {
+  // Fixed axes matching the paper's Fig. 3: intensity 1e-3..1e3 F/B,
+  // performance 1e-3..1e4 GFlop/s.
+  LogGrid2D grid(1e-3, 1e3, x_bins, 1e-3, 1e4, y_bins);
+  for (const auto& cj : analysis.jobs) {
+    if (frequency != nullptr && cj.job->frequency != *frequency) continue;
+    if (!std::isfinite(cj.metrics.operational_intensity)) continue;
+    grid.add(cj.metrics.operational_intensity, cj.metrics.performance_gflops);
+  }
+  return grid;
+}
+
+DailyTypeCounts daily_type_counts(const RooflineAnalysis& analysis, TimePoint start,
+                                  TimePoint end) {
+  DailyTypeCounts out;
+  const std::int64_t days = std::max<std::int64_t>(0, day_index(end - 1, start) + 1);
+  out.memory_bound.assign(static_cast<std::size_t>(days), 0);
+  out.compute_bound.assign(static_cast<std::size_t>(days), 0);
+  for (const auto& cj : analysis.jobs) {
+    const TimePoint t = cj.job->submit_time;
+    if (t < start || t >= end) continue;
+    const auto day = static_cast<std::size_t>(day_index(t, start));
+    if (cj.label == Boundedness::kMemoryBound) {
+      ++out.memory_bound[day];
+    } else {
+      ++out.compute_bound[day];
+    }
+  }
+  return out;
+}
+
+}  // namespace mcb

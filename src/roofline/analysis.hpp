@@ -1,0 +1,76 @@
+// Workload-level roofline analysis (paper §IV-C): the aggregate numbers
+// behind Table II and Figures 3-5, computed from a batch of jobs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "roofline/characterizer.hpp"
+#include "util/histogram.hpp"
+
+namespace mcb {
+
+/// Per-job characterization output retained for plotting/analysis.
+struct CharacterizedJob {
+  const JobRecord* job = nullptr;
+  JobMetrics metrics;
+  Boundedness label = Boundedness::kMemoryBound;
+};
+
+/// Table II: job counts broken down by frequency mode and label.
+struct JobTypeBreakdown {
+  // [frequency mode][label] with FrequencyMode / Boundedness as indices.
+  std::array<std::array<std::uint64_t, 2>, 2> counts{};
+
+  std::uint64_t total() const noexcept;
+  std::uint64_t by_label(Boundedness b) const noexcept;
+  std::uint64_t by_frequency(FrequencyMode f) const noexcept;
+  std::uint64_t at(FrequencyMode f, Boundedness b) const noexcept {
+    return counts[static_cast<std::size_t>(f)][static_cast<std::size_t>(b)];
+  }
+  /// memory-bound : compute-bound ratio (paper reports ~3.4x).
+  double memory_to_compute_ratio() const noexcept;
+  /// Fraction of memory-bound jobs run in *normal* mode (paper ~54%).
+  double memory_bound_normal_fraction() const noexcept;
+  /// Fraction of compute-bound jobs run in *boost* mode (paper ~30%).
+  double compute_bound_boost_fraction() const noexcept;
+};
+
+struct RooflineAnalysis {
+  std::vector<CharacterizedJob> jobs;   ///< only characterizable jobs
+  std::size_t skipped = 0;              ///< jobs without valid metrics
+  JobTypeBreakdown breakdown;
+
+  /// Fraction of jobs whose attained performance is within `fraction`
+  /// of the roofline at their intensity ("well-engineered" jobs; the
+  /// paper observes only a few clusters close to the roofline).
+  double fraction_near_roofline(const Characterizer& characterizer,
+                                double fraction = 0.5) const;
+
+  /// Pearson correlation between frequency choice (0/1) and log10
+  /// operational intensity — the paper observes no correlation (Fig. 5).
+  double frequency_intensity_correlation() const;
+};
+
+/// Characterize a batch and accumulate the aggregate statistics.
+RooflineAnalysis analyze_jobs(const Characterizer& characterizer,
+                              std::span<const JobRecord> jobs);
+
+/// Build the textual roofline density plot (Figs. 3/5). When `frequency`
+/// is set, only jobs submitted at that mode are included (Fig. 5 panels).
+LogGrid2D roofline_grid(const RooflineAnalysis& analysis,
+                        std::size_t x_bins = 100, std::size_t y_bins = 24,
+                        const FrequencyMode* frequency = nullptr);
+
+/// Daily counts by label (Fig. 4) over [start, end) in whole days.
+struct DailyTypeCounts {
+  std::vector<std::uint64_t> memory_bound;   ///< per day
+  std::vector<std::uint64_t> compute_bound;  ///< per day
+};
+DailyTypeCounts daily_type_counts(const RooflineAnalysis& analysis,
+                                  TimePoint start, TimePoint end);
+
+}  // namespace mcb

@@ -1,0 +1,76 @@
+#include "roofline/characterizer.hpp"
+
+#include <limits>
+
+namespace mcb {
+
+MachineSpec fugaku_node_spec() {
+  MachineSpec spec;
+  spec.name = "Fugaku FX1000 node (boost mode, 2.2 GHz)";
+  spec.peak_gflops = 3380.0;        // ~3.38 TFlop/s FP64 per node
+  spec.peak_bandwidth_gbs = 1024.0; // HBM2
+  spec.peak_network_gbs = 40.8;     // Tofu-D, 6 ports x 6.8 GB/s injection
+  return spec;
+}
+
+std::optional<Boundedness> parse_boundedness(const std::string& text) {
+  if (text == "memory-bound" || text == "memory") return Boundedness::kMemoryBound;
+  if (text == "compute-bound" || text == "compute") return Boundedness::kComputeBound;
+  return std::nullopt;
+}
+
+double flops_from_counters(const JobRecord& job, const CounterModel& model) {
+  return job.perf2 + job.perf3 * model.sve_width_factor;
+}
+
+double moved_bytes_from_counters(const JobRecord& job, const CounterModel& model) {
+  return (job.perf4 + job.perf5) * model.cache_line_bytes / model.cmg_core_count;
+}
+
+Characterizer::Characterizer(MachineSpec spec, CounterModel model)
+    : spec_(std::move(spec)), model_(model), ridge_point_(spec_.ridge_point()) {}
+
+std::optional<JobMetrics> Characterizer::compute_metrics(const JobRecord& job) const {
+  const std::int64_t duration = job.duration();
+  if (duration <= 0 || job.nodes_allocated == 0) return std::nullopt;
+
+  JobMetrics m;
+  m.flops = flops_from_counters(job, model_);
+  m.moved_bytes = moved_bytes_from_counters(job, model_);
+  if (m.flops < 0.0 || m.moved_bytes < 0.0) return std::nullopt;
+
+  const double node_seconds = static_cast<double>(duration) *
+                              static_cast<double>(job.nodes_allocated);
+  m.performance_gflops = m.flops / node_seconds / 1e9;       // Eq. 1
+  m.bandwidth_gbs = m.moved_bytes / node_seconds / 1e9;      // Eq. 2
+  m.operational_intensity =
+      m.bandwidth_gbs > 0.0 ? m.performance_gflops / m.bandwidth_gbs  // Eq. 3
+                            : std::numeric_limits<double>::infinity();
+  return m;
+}
+
+std::optional<Boundedness> Characterizer::characterize(const JobRecord& job) const {
+  const auto metrics = compute_metrics(job);
+  if (!metrics.has_value()) return std::nullopt;
+  return classify_intensity(metrics->operational_intensity);
+}
+
+std::vector<Boundedness> Characterizer::generate_labels(std::span<const JobRecord> jobs,
+                                                        std::size_t* skipped) const {
+  std::vector<Boundedness> labels;
+  labels.reserve(jobs.size());
+  std::size_t skip_count = 0;
+  for (const JobRecord& job : jobs) {
+    const auto label = characterize(job);
+    if (label.has_value()) {
+      labels.push_back(*label);
+    } else {
+      labels.push_back(Boundedness::kMemoryBound);
+      ++skip_count;
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return labels;
+}
+
+}  // namespace mcb

@@ -1,0 +1,89 @@
+// Job Characterizer (paper §III-C and §IV-B).
+//
+// Converts raw A64FX performance counters into per-node-average
+// performance p_j, memory bandwidth mb_j and operational intensity op_j
+// (Equations 1-5 of the paper), and labels each job memory-bound or
+// compute-bound by comparing op_j against the machine's ridge point.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "roofline/machine_spec.hpp"
+
+namespace mcb {
+
+enum class Boundedness : std::uint8_t {
+  kMemoryBound = 0,
+  kComputeBound = 1,
+};
+
+inline const char* boundedness_name(Boundedness b) noexcept {
+  return b == Boundedness::kComputeBound ? "compute-bound" : "memory-bound";
+}
+
+/// Parse "memory-bound"/"compute-bound" (also accepts "memory"/"compute").
+std::optional<Boundedness> parse_boundedness(const std::string& text);
+
+/// Derived per-job metrics, normalized to a single node (Eq. 1-3).
+struct JobMetrics {
+  double flops = 0.0;               ///< total FP64 operations (Eq. 4)
+  double moved_bytes = 0.0;         ///< total memory traffic in bytes (Eq. 5)
+  double performance_gflops = 0.0;  ///< p_j, per-node GFlop/s (Eq. 1)
+  double bandwidth_gbs = 0.0;       ///< mb_j, per-node GByte/s (Eq. 2)
+  double operational_intensity = 0.0;  ///< op_j = p_j / mb_j (Eq. 3)
+};
+
+/// A64FX counter conversion constants (paper §IV-B).
+struct CounterModel {
+  double sve_width_factor = 4.0;   ///< 512-bit SVE = 4 x 128-bit slices (Eq. 4)
+  double cache_line_bytes = 256.0; ///< bytes moved per memory request (Eq. 5)
+  double cmg_core_count = 12.0;    ///< CMG duplication divisor (Eq. 5)
+};
+
+/// Total floating-point operations from counters:
+///   #flops = perf2 + perf3 * 4                                   (Eq. 4)
+double flops_from_counters(const JobRecord& job, const CounterModel& model = {});
+
+/// Total moved memory bytes from counters:
+///   #moved_bytes = (perf4 + perf5) * 256 / 12                    (Eq. 5)
+double moved_bytes_from_counters(const JobRecord& job, const CounterModel& model = {});
+
+class Characterizer {
+ public:
+  /// The characterizer is bound to a node specification at construction;
+  /// the ridge point is computed once here (paper: at class init time).
+  explicit Characterizer(MachineSpec spec, CounterModel model = {});
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+  double ridge_point() const noexcept { return ridge_point_; }
+
+  /// Eq. 1-5. Jobs with non-positive duration or node count yield
+  /// std::nullopt (cannot be characterized); jobs with zero memory
+  /// traffic get op = +inf (pure compute).
+  std::optional<JobMetrics> compute_metrics(const JobRecord& job) const;
+
+  /// Label a single job; nullopt when metrics are undefined.
+  std::optional<Boundedness> characterize(const JobRecord& job) const;
+
+  /// Paper's generate_labels: label a batch. Uncharacterizable jobs are
+  /// labelled memory-bound (the conservative majority class) and counted
+  /// in `skipped` if provided.
+  std::vector<Boundedness> generate_labels(std::span<const JobRecord> jobs,
+                                           std::size_t* skipped = nullptr) const;
+
+  /// Classification from a precomputed intensity.
+  Boundedness classify_intensity(double op) const noexcept {
+    return op > ridge_point_ ? Boundedness::kComputeBound : Boundedness::kMemoryBound;
+  }
+
+ private:
+  MachineSpec spec_;
+  CounterModel model_;
+  double ridge_point_;
+};
+
+}  // namespace mcb

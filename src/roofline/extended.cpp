@@ -1,0 +1,83 @@
+#include "roofline/extended.hpp"
+
+namespace mcb {
+
+const char* extended_boundedness_name(ExtendedBoundedness b) noexcept {
+  switch (b) {
+    case ExtendedBoundedness::kMemoryBound: return "memory-bound";
+    case ExtendedBoundedness::kComputeBound: return "compute-bound";
+    case ExtendedBoundedness::kInterconnectBound: return "interconnect-bound";
+  }
+  return "unknown";
+}
+
+ExtendedBoundedness ResourceUtilization::dominant() const noexcept {
+  // Ties resolve toward the earlier resource in (memory, compute,
+  // interconnect) order, matching the base characterizer's convention
+  // that op == ridge is memory-bound.
+  ExtendedBoundedness best = ExtendedBoundedness::kMemoryBound;
+  double best_util = memory;
+  if (compute > best_util) {
+    best = ExtendedBoundedness::kComputeBound;
+    best_util = compute;
+  }
+  if (interconnect > best_util) {
+    best = ExtendedBoundedness::kInterconnectBound;
+  }
+  return best;
+}
+
+ExtendedCharacterizer::ExtendedCharacterizer(MachineSpec spec, CounterModel model)
+    : base_(std::move(spec), model) {}
+
+double ExtendedCharacterizer::network_bandwidth_gbs(const JobRecord& job) {
+  const std::int64_t duration = job.duration();
+  if (duration <= 0 || job.nodes_allocated == 0) return 0.0;
+  return job.perf6 /
+         (static_cast<double>(duration) * static_cast<double>(job.nodes_allocated)) / 1e9;
+}
+
+std::optional<ResourceUtilization> ExtendedCharacterizer::utilization(
+    const JobRecord& job) const {
+  const auto metrics = base_.compute_metrics(job);
+  if (!metrics.has_value()) return std::nullopt;
+  ResourceUtilization util;
+  const MachineSpec& machine = base_.spec();
+  if (machine.peak_gflops > 0.0) {
+    util.compute = metrics->performance_gflops / machine.peak_gflops;
+  }
+  if (machine.peak_bandwidth_gbs > 0.0) {
+    util.memory = metrics->bandwidth_gbs / machine.peak_bandwidth_gbs;
+  }
+  if (machine.peak_network_gbs > 0.0 && job.perf6 >= 0.0) {
+    util.interconnect = network_bandwidth_gbs(job) / machine.peak_network_gbs;
+  }
+  return util;
+}
+
+std::optional<ExtendedBoundedness> ExtendedCharacterizer::characterize(
+    const JobRecord& job) const {
+  const auto util = utilization(job);
+  if (!util.has_value()) return std::nullopt;
+  return util->dominant();
+}
+
+std::vector<ExtendedBoundedness> ExtendedCharacterizer::generate_labels(
+    std::span<const JobRecord> jobs, std::size_t* skipped) const {
+  std::vector<ExtendedBoundedness> labels;
+  labels.reserve(jobs.size());
+  std::size_t skip_count = 0;
+  for (const JobRecord& job : jobs) {
+    const auto label = characterize(job);
+    if (label.has_value()) {
+      labels.push_back(*label);
+    } else {
+      labels.push_back(ExtendedBoundedness::kMemoryBound);
+      ++skip_count;
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return labels;
+}
+
+}  // namespace mcb

@@ -1,0 +1,66 @@
+// ExtendedCharacterizer — the paper's §VI future-work direction:
+// "by adding to the Roofline model the bandwidth of other hardware
+// components (e.g. cache, interconnect and GPUs) it is possible to
+// expand the Job Characterizer to create other labels for the job data,
+// such as interconnect-bound and GPU-bound."
+//
+// Formulation: for each modeled resource r with per-node peak P_r and
+// per-node attained rate a_r, the job's utilization of r is u_r = a_r /
+// P_r; the job is bound by the resource with the highest utilization.
+// For the two classic resources this is *exactly* the Roofline rule:
+// argmax(p/P_peak, mb/B_peak) picks compute iff op = p/mb > P/B = op_r.
+// Adding the interconnect adds a third utilization u_net = nb / N_peak
+// from the Tofu byte counter (perf6).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "roofline/characterizer.hpp"
+
+namespace mcb {
+
+enum class ExtendedBoundedness : std::uint8_t {
+  kMemoryBound = 0,
+  kComputeBound = 1,
+  kInterconnectBound = 2,
+};
+
+const char* extended_boundedness_name(ExtendedBoundedness b) noexcept;
+
+/// Per-job utilizations of the three modeled resources.
+struct ResourceUtilization {
+  double compute = 0.0;       ///< p_j / peak_gflops
+  double memory = 0.0;        ///< mb_j / peak_bandwidth
+  double interconnect = 0.0;  ///< nb_j / peak_network (0 when unmodeled)
+
+  ExtendedBoundedness dominant() const noexcept;
+};
+
+class ExtendedCharacterizer {
+ public:
+  /// Requires spec.peak_network_gbs > 0 for the interconnect roof; with
+  /// 0 the classifier degenerates to the two-class characterizer.
+  explicit ExtendedCharacterizer(MachineSpec spec, CounterModel model = {});
+
+  const MachineSpec& spec() const noexcept { return base_.spec(); }
+  const Characterizer& base() const noexcept { return base_; }
+
+  /// Per-node-average attained network bandwidth, GByte/s (from perf6).
+  static double network_bandwidth_gbs(const JobRecord& job);
+
+  std::optional<ResourceUtilization> utilization(const JobRecord& job) const;
+  std::optional<ExtendedBoundedness> characterize(const JobRecord& job) const;
+
+  /// Three-class labels for a batch; uncharacterizable jobs fall back to
+  /// memory-bound (majority class), counted in `skipped`.
+  std::vector<ExtendedBoundedness> generate_labels(std::span<const JobRecord> jobs,
+                                                   std::size_t* skipped = nullptr) const;
+
+ private:
+  Characterizer base_;
+};
+
+}  // namespace mcb

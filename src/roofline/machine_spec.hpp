@@ -1,0 +1,56 @@
+// Per-node machine specification for the Roofline model (Williams 2009).
+//
+// The ridge point op_r = peak_performance / peak_memory_bandwidth is the
+// minimum operational intensity (flops per byte of memory traffic) at
+// which a computation can reach the node's peak performance. Jobs with
+// op < op_r are memory-bound; op >= op_r compute-bound (paper §III-C:
+// "compute-bound if op_j is greater than op_r, memory-bound otherwise").
+#pragma once
+
+#include <string>
+
+namespace mcb {
+
+struct MachineSpec {
+  std::string name = "node";
+  double peak_gflops = 0.0;        ///< FP64 peak per node, GFlop/s
+  double peak_bandwidth_gbs = 0.0; ///< memory bandwidth per node, GByte/s
+  /// Interconnect injection bandwidth per node, GByte/s (0 = unmodeled).
+  /// Used by the ExtendedCharacterizer for the paper's future-work
+  /// interconnect-bound class (§VI); the classic two-class Roofline
+  /// ignores it.
+  double peak_network_gbs = 0.0;
+
+  /// Ridge-point operational intensity, Flops/Byte.
+  double ridge_point() const noexcept {
+    return peak_bandwidth_gbs > 0.0 ? peak_gflops / peak_bandwidth_gbs : 0.0;
+  }
+
+  /// Attainable performance at intensity `op` (the roofline curve),
+  /// GFlop/s: min(peak, op * bandwidth).
+  double attainable_gflops(double op) const noexcept {
+    const double bw_bound = op * peak_bandwidth_gbs;
+    return bw_bound < peak_gflops ? bw_bound : peak_gflops;
+  }
+};
+
+/// A Fugaku FX1000 node in boost mode (2.2 GHz): ~3.3 TFlop/s FP64 and
+/// 1024 GB/s of HBM2 bandwidth, giving a ridge point of ~3.3 Flops/Byte
+/// (paper Table I and §IV-B; boost mode is used because the Roofline must
+/// reflect the best attainable performance).
+MachineSpec fugaku_node_spec();
+
+/// Fugaku system-level facts from paper Table I, for bench_table1.
+struct FugakuSystemFacts {
+  std::string architecture = "Armv8.2-A SVE 512 bit";
+  std::string os = "Red Hat Enterprise Linux 8";
+  int nodes = 158'976;
+  int cores_per_node = 48;
+  int assistant_cores_per_node = 4;
+  std::string memory = "HBM2, 32 GiB, 1024 GBytes/s";
+  double system_peak_pflops = 537.0;
+  double node_peak_tflops = 3.3;
+  std::string network = "Tofu D Interconnect (28 Gbps)";
+};
+
+}  // namespace mcb

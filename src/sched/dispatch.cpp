@@ -1,0 +1,254 @@
+#include "sched/dispatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <deque>
+#include <queue>
+
+#include "util/stats.hpp"
+
+namespace mcb {
+
+std::vector<DispatchJob> make_dispatch_jobs(std::span<const JobRecord> jobs,
+                                            std::span<const Boundedness> predicted,
+                                            const Characterizer& characterizer) {
+  std::vector<DispatchJob> out;
+  out.reserve(jobs.size());
+  const DispatchConfig physics;  // for the boost/normal conversion constants
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobRecord& job = jobs[i];
+    const auto truth = characterizer.characterize(job);
+    if (!truth.has_value() || job.duration() <= 0) continue;
+
+    DispatchJob dj;
+    dj.job_id = job.job_id;
+    dj.submit_time = job.submit_time;
+    dj.nodes = std::max<std::uint32_t>(1, job.nodes_allocated);
+    dj.user_frequency = job.frequency;
+    dj.truth = *truth;
+    dj.predicted = i < predicted.size() ? predicted[i] : *truth;
+
+    // Normalize the recorded duration/power to normal-frequency values.
+    double duration = static_cast<double>(job.duration());
+    double power = job.avg_power_watts > 0.0
+                       ? job.avg_power_watts
+                       : 100.0 * static_cast<double>(dj.nodes);  // telemetry fallback
+    if (job.frequency == FrequencyMode::kBoost) {
+      if (*truth == Boundedness::kComputeBound) {
+        duration /= (1.0 - physics.boost_speedup_compute);
+      }
+      power /= (1.0 + physics.boost_power_premium);
+    }
+    dj.base_duration_s = duration;
+    dj.base_power_w = power;
+    out.push_back(dj);
+  }
+  std::sort(out.begin(), out.end(), [](const DispatchJob& a, const DispatchJob& b) {
+    return a.submit_time != b.submit_time ? a.submit_time < b.submit_time
+                                          : a.job_id < b.job_id;
+  });
+  return out;
+}
+
+namespace {
+
+struct Allocation {
+  std::uint32_t nodes = 0;
+  Boundedness primary_predicted = Boundedness::kMemoryBound;
+  double primary_end = 0.0;
+  bool has_partner = false;
+  double partner_end = 0.0;
+  double start = 0.0;
+  bool released = false;
+};
+
+struct Completion {
+  double time = 0.0;
+  std::size_t alloc_id = 0;
+  bool is_partner = false;
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+DispatchResult simulate_dispatch(std::span<const DispatchJob> jobs,
+                                 const DispatchConfig& config) {
+  DispatchResult result;
+  if (jobs.empty() || config.total_nodes == 0) return result;
+
+  std::uint32_t free_nodes = config.total_nodes;
+  std::vector<Allocation> allocations;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  std::deque<std::size_t> queue;  // indices into `jobs`, FCFS
+
+  std::vector<double> waits;
+  waits.reserve(jobs.size());
+  OnlineStats slowdowns;
+  double last_completion = 0.0;
+  const double first_submission = static_cast<double>(jobs.front().submit_time);
+
+  // Assigned frequency + exclusive-mode duration/power under the policy.
+  const auto assigned_frequency = [&config](const DispatchJob& job) {
+    if (!config.frequency_advisor) return job.user_frequency;
+    return job.predicted == Boundedness::kComputeBound ? FrequencyMode::kBoost
+                                                       : FrequencyMode::kNormal;
+  };
+  const auto exclusive_duration = [&config](const DispatchJob& job, FrequencyMode freq) {
+    // Only truly compute-bound jobs speed up at boost (paper §V-C d).
+    if (freq == FrequencyMode::kBoost && job.truth == Boundedness::kComputeBound) {
+      return job.base_duration_s * (1.0 - config.boost_speedup_compute);
+    }
+    return job.base_duration_s;
+  };
+  const auto job_power = [&config](const DispatchJob& job, FrequencyMode freq) {
+    return freq == FrequencyMode::kBoost
+               ? job.base_power_w * (1.0 + config.boost_power_premium)
+               : job.base_power_w;
+  };
+
+  const auto start_job = [&](std::size_t index, double now, bool co_located,
+                             std::size_t host_alloc) {
+    const DispatchJob& job = jobs[index];
+    const FrequencyMode freq = assigned_frequency(job);
+    if (freq != job.user_frequency) ++result.frequency_overrides;
+
+    double duration = exclusive_duration(job, freq);
+    if (co_located) {
+      const Allocation& host = allocations[host_alloc];
+      const bool conflict =
+          (job.truth == Boundedness::kMemoryBound) ==
+          (host.primary_predicted == Boundedness::kMemoryBound);
+      // Contention factor by the *pair type actually formed*.
+      if (conflict) {
+        duration *= config.coshare_slowdown_conflict;
+        ++result.conflict_pairs;
+      } else if (job.truth == Boundedness::kMemoryBound) {
+        duration *= config.coshare_slowdown_memory;
+      } else {
+        duration *= config.coshare_slowdown_compute;
+      }
+      ++result.co_scheduled_jobs;
+    }
+
+    const double wait = now - static_cast<double>(job.submit_time);
+    waits.push_back(wait);
+    slowdowns.add((wait + duration) / std::max(1.0, exclusive_duration(job, freq)));
+    result.total_energy_gj += job_power(job, freq) * duration / 1e9;
+    ++result.jobs_completed;
+
+    const double end = now + duration;
+    last_completion = std::max(last_completion, end);
+    if (co_located) {
+      allocations[host_alloc].has_partner = true;
+      allocations[host_alloc].partner_end = end;
+      completions.push({end, host_alloc, true});
+    } else {
+      Allocation alloc;
+      alloc.nodes = std::min(job.nodes, config.total_nodes);
+      alloc.primary_predicted = job.predicted;
+      alloc.primary_end = end;
+      alloc.start = now;
+      free_nodes -= alloc.nodes;
+      allocations.push_back(alloc);
+      completions.push({end, allocations.size() - 1, false});
+    }
+  };
+
+  // Try to start queued jobs in FCFS order; stop at the first job that
+  // cannot be placed (no backfill, same discipline for all policies).
+  const auto drain_queue = [&](double now) {
+    while (!queue.empty()) {
+      const std::size_t index = queue.front();
+      const DispatchJob& job = jobs[index];
+      const std::uint32_t need = std::min(job.nodes, config.total_nodes);
+      if (need <= free_nodes) {
+        queue.pop_front();
+        start_job(index, now, false, 0);
+        continue;
+      }
+      if (config.co_schedule) {
+        // Label-aware backfill: when the head is blocked, co-locate the
+        // first queued job (any position) whose *predicted* label is
+        // complementary to a running allocation with a free partner
+        // slot and enough nodes. This never delays the head job — the
+        // co-located job consumes no free nodes.
+        bool placed = false;
+        for (auto it = queue.begin(); it != queue.end() && !placed; ++it) {
+          const DispatchJob& candidate = jobs[*it];
+          const std::uint32_t candidate_need =
+              std::min(candidate.nodes, config.total_nodes);
+          for (std::size_t a = 0; a < allocations.size(); ++a) {
+            Allocation& alloc = allocations[a];
+            if (alloc.released || alloc.has_partner) continue;
+            if (alloc.nodes < candidate_need) continue;
+            if (alloc.primary_end <= now) continue;  // about to finish
+            if ((alloc.primary_predicted == Boundedness::kMemoryBound) ==
+                (candidate.predicted == Boundedness::kMemoryBound)) {
+              continue;  // not complementary
+            }
+            // Fit-in-time guard: the partner must be expected to finish
+            // before (or shortly after) the host does, otherwise it pins
+            // the host's nodes and hurts the queue. Uses the walltime
+            // estimate a real scheduler would have.
+            const double estimate =
+                exclusive_duration(candidate, assigned_frequency(candidate)) *
+                config.coshare_slowdown_compute;
+            if (estimate > (alloc.primary_end - now) * 1.25) continue;
+            const std::size_t candidate_index = *it;
+            queue.erase(it);
+            start_job(candidate_index, now, true, a);
+            placed = true;
+            break;
+          }
+        }
+        if (placed) continue;
+      }
+      break;  // head of line blocked
+    }
+  };
+
+  const auto release_if_done = [&](std::size_t alloc_id, double now) {
+    Allocation& alloc = allocations[alloc_id];
+    if (alloc.released) return;
+    const bool primary_done = alloc.primary_end <= now + 1e-9;
+    const bool partner_done = !alloc.has_partner || alloc.partner_end <= now + 1e-9;
+    if (primary_done && partner_done) {
+      alloc.released = true;
+      free_nodes += alloc.nodes;
+      result.node_seconds_busy += static_cast<double>(alloc.nodes) * (now - alloc.start);
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < jobs.size() || !completions.empty()) {
+    const double arrival_time = next_arrival < jobs.size()
+                                    ? static_cast<double>(jobs[next_arrival].submit_time)
+                                    : std::numeric_limits<double>::infinity();
+    const double completion_time =
+        !completions.empty() ? completions.top().time
+                             : std::numeric_limits<double>::infinity();
+
+    if (completion_time <= arrival_time) {
+      const Completion event = completions.top();
+      completions.pop();
+      release_if_done(event.alloc_id, event.time);
+      drain_queue(event.time);
+    } else {
+      queue.push_back(next_arrival++);
+      drain_queue(arrival_time);
+    }
+  }
+
+  if (!waits.empty()) {
+    double sum = 0.0;
+    for (const double w : waits) sum += w;
+    result.mean_wait_s = sum / static_cast<double>(waits.size());
+    result.p95_wait_s = percentile(waits, 95.0);
+  }
+  result.mean_slowdown = slowdowns.mean();
+  result.makespan_s = last_completion - first_submission;
+  return result;
+}
+
+}  // namespace mcb

@@ -1,0 +1,253 @@
+#include "serve/api.hpp"
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+Json job_to_json(const JobRecord& job) {
+  Json out = Json::object();
+  out.set("job_id", static_cast<std::int64_t>(job.job_id));
+  out.set("user_name", job.user_name);
+  out.set("job_name", job.job_name);
+  out.set("environment", job.environment);
+  out.set("nodes_requested", static_cast<std::int64_t>(job.nodes_requested));
+  out.set("cores_requested", static_cast<std::int64_t>(job.cores_requested));
+  out.set("frequency_mhz", frequency_mhz(job.frequency));
+  out.set("submit_time", static_cast<std::int64_t>(job.submit_time));
+  out.set("start_time", static_cast<std::int64_t>(job.start_time));
+  out.set("end_time", static_cast<std::int64_t>(job.end_time));
+  out.set("nodes_allocated", static_cast<std::int64_t>(job.nodes_allocated));
+  out.set("exit_status", job.exit_status);
+  out.set("perf2", job.perf2);
+  out.set("perf3", job.perf3);
+  out.set("perf4", job.perf4);
+  out.set("perf5", job.perf5);
+  out.set("perf6", job.perf6);
+  out.set("avg_power_watts", job.avg_power_watts);
+  return out;
+}
+
+std::optional<JobRecord> job_from_json(const Json& json, std::string* error) {
+  const auto fail = [error](const std::string& message) -> std::optional<JobRecord> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!json.is_object()) return fail("job must be a JSON object");
+  JobRecord job;
+  job.job_id = static_cast<std::uint64_t>(json["job_id"].as_int(0));
+  job.user_name = json["user_name"].as_string();
+  job.job_name = json["job_name"].as_string();
+  if (job.job_name.empty()) return fail("missing job_name");
+  job.environment = json["environment"].as_string();
+  const std::int64_t nodes = json["nodes_requested"].as_int(1);
+  const std::int64_t cores = json["cores_requested"].as_int(48);
+  if (nodes <= 0 || cores <= 0) return fail("nodes/cores must be positive");
+  job.nodes_requested = static_cast<std::uint32_t>(nodes);
+  job.cores_requested = static_cast<std::uint32_t>(cores);
+  job.frequency = json["frequency_mhz"].as_int(2000) >= 2200 ? FrequencyMode::kBoost
+                                                             : FrequencyMode::kNormal;
+  job.submit_time = json["submit_time"].as_int(0);
+  job.start_time = json["start_time"].as_int(0);
+  job.end_time = json["end_time"].as_int(0);
+  job.nodes_allocated =
+      static_cast<std::uint32_t>(json["nodes_allocated"].as_int(nodes));
+  job.exit_status = static_cast<std::int32_t>(json["exit_status"].as_int(0));
+  job.perf2 = json["perf2"].as_double(0.0);
+  job.perf3 = json["perf3"].as_double(0.0);
+  job.perf4 = json["perf4"].as_double(0.0);
+  job.perf5 = json["perf5"].as_double(0.0);
+  job.perf6 = json["perf6"].as_double(0.0);
+  job.avg_power_watts = json["avg_power_watts"].as_double(0.0);
+  return job;
+}
+
+namespace {
+
+HttpResponse error_response(int status, const std::string& message) {
+  Json body = Json::object();
+  body.set("error", message);
+  return HttpResponse::json(status, body.dump());
+}
+
+std::optional<JobRecord> parse_job_body(const HttpRequest& request, HttpResponse& error) {
+  std::string parse_error;
+  const auto json = Json::parse(request.body, &parse_error);
+  if (!json.has_value()) {
+    error = error_response(400, "invalid JSON: " + parse_error);
+    return std::nullopt;
+  }
+  const auto job = job_from_json(*json, &parse_error);
+  if (!job.has_value()) {
+    error = error_response(400, parse_error);
+    return std::nullopt;
+  }
+  return job;
+}
+
+}  // namespace
+
+ApiServer::ApiServer(Framework& framework) : framework_(&framework) { install_routes(); }
+
+bool ApiServer::start(int port) { return server_.start(port); }
+
+void ApiServer::install_routes() {
+  server_.route("GET", "/health",
+                [this](const HttpRequest& r) { return handle_health(r); });
+  server_.route("GET", "/model/info",
+                [this](const HttpRequest& r) { return handle_model_info(r); });
+  server_.route("POST", "/characterize",
+                [this](const HttpRequest& r) { return handle_characterize(r); });
+  server_.route("POST", "/predict",
+                [this](const HttpRequest& r) { return handle_predict(r); });
+  server_.route("POST", "/train",
+                [this](const HttpRequest& r) { return handle_train(r); });
+  server_.route("POST", "/encode",
+                [this](const HttpRequest& r) { return handle_encode(r); });
+  server_.route("GET", "/jobs", [this](const HttpRequest& r) { return handle_jobs(r); });
+}
+
+HttpResponse ApiServer::handle_encode(const HttpRequest& request) {
+  HttpResponse error;
+  const auto job = parse_job_body(request, error);
+  if (!job.has_value()) return error;
+  std::lock_guard lock(mutex_);
+  const auto embedding = framework_->encoder().encode(*job);
+  Json body = Json::object();
+  body.set("feature_string", framework_->encoder().feature_string(*job));
+  Json values = Json::array();
+  for (const float v : embedding) values.push_back(static_cast<double>(v));
+  body.set("embedding", values);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_jobs(const HttpRequest& request) {
+  // Query string: from=<epoch>&to=<epoch>[&field=submit|end][&limit=N]
+  std::int64_t from = 0, to = 0, limit = 1000;
+  std::string field = "end";
+  for (const auto& pair : split(request.query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "from") parse_i64(value, from);
+    if (key == "to") parse_i64(value, to);
+    if (key == "limit") parse_i64(value, limit);
+    if (key == "field") field = value;
+  }
+  if (to <= from) return error_response(400, "need from < to");
+  if (field != "submit" && field != "end") {
+    return error_response(400, "field must be 'submit' or 'end'");
+  }
+  std::lock_guard lock(mutex_);
+  JobQuery query;
+  query.field = field == "submit" ? JobQuery::TimeField::kSubmitTime
+                                  : JobQuery::TimeField::kEndTime;
+  query.start_time = from;
+  query.end_time = to;
+  const auto jobs = framework_->store().query(query);
+  Json body = Json::object();
+  body.set("count", static_cast<std::int64_t>(jobs.size()));
+  Json list = Json::array();
+  for (std::size_t i = 0; i < jobs.size() && i < static_cast<std::size_t>(limit); ++i) {
+    list.push_back(job_to_json(*jobs[i]));
+  }
+  body.set("jobs", list);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_health(const HttpRequest&) {
+  std::lock_guard lock(mutex_);
+  Json body = Json::object();
+  body.set("status", "ok");
+  body.set("model", framework_->model_name());
+  body.set("trained", framework_->has_model());
+  if (framework_->model_version().has_value()) {
+    body.set("version", static_cast<std::int64_t>(*framework_->model_version()));
+  }
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_model_info(const HttpRequest&) {
+  std::lock_guard lock(mutex_);
+  Json body = Json::object();
+  body.set("model", framework_->model_name());
+  body.set("trained", framework_->has_model());
+  body.set("alpha_days", framework_->config().alpha_days);
+  body.set("beta_days", framework_->config().beta_days);
+  body.set("encoder_dim", static_cast<std::int64_t>(framework_->encoder().dim()));
+  body.set("ridge_point_flops_per_byte", framework_->characterizer().ridge_point());
+  Json features = Json::array();
+  for (const JobFeature f : framework_->encoder().features()) {
+    features.push_back(job_feature_name(f));
+  }
+  body.set("features", features);
+  if (framework_->model_version().has_value()) {
+    body.set("version", static_cast<std::int64_t>(*framework_->model_version()));
+  }
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_characterize(const HttpRequest& request) {
+  HttpResponse error;
+  const auto job = parse_job_body(request, error);
+  if (!job.has_value()) return error;
+
+  std::lock_guard lock(mutex_);
+  const auto metrics = framework_->job_metrics(*job);
+  if (!metrics.has_value()) {
+    return error_response(400, "job cannot be characterized (invalid duration/nodes)");
+  }
+  const auto label = framework_->characterize_job(*job);
+  Json body = Json::object();
+  body.set("label", boundedness_name(*label));
+  Json m = Json::object();
+  m.set("flops", metrics->flops);
+  m.set("moved_bytes", metrics->moved_bytes);
+  m.set("performance_gflops", metrics->performance_gflops);
+  m.set("bandwidth_gbs", metrics->bandwidth_gbs);
+  m.set("operational_intensity", metrics->operational_intensity);
+  body.set("metrics", m);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_predict(const HttpRequest& request) {
+  HttpResponse error;
+  const auto job = parse_job_body(request, error);
+  if (!job.has_value()) return error;
+
+  std::lock_guard lock(mutex_);
+  if (!framework_->has_model()) {
+    return error_response(503, "no trained model; POST /train first");
+  }
+  const auto label = framework_->predict_job(*job);
+  if (!label.has_value()) return error_response(500, "prediction failed");
+  Json body = Json::object();
+  body.set("job_id", static_cast<std::int64_t>(job->job_id));
+  body.set("label", boundedness_name(*label));
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_train(const HttpRequest& request) {
+  std::string parse_error;
+  const auto json = Json::parse(request.body.empty() ? "{}" : request.body, &parse_error);
+  if (!json.has_value()) return error_response(400, "invalid JSON: " + parse_error);
+  std::lock_guard lock(mutex_);
+  const TimePoint now = json->contains("now")
+                            ? (*json)["now"].as_int()
+                            : framework_->store().max_end_time() + 1;
+  const TrainingReport report = framework_->train_now(now);
+  if (report.jobs_used == 0) {
+    return error_response(409, "training window is empty; no model produced");
+  }
+  Json body = Json::object();
+  body.set("jobs_used", static_cast<std::int64_t>(report.jobs_used));
+  body.set("train_seconds", report.train_seconds);
+  body.set("encode_seconds", report.encode_seconds);
+  body.set("characterize_seconds", report.characterize_seconds);
+  if (framework_->model_version().has_value()) {
+    body.set("version", static_cast<std::int64_t>(*framework_->model_version()));
+  }
+  return HttpResponse::json(201, body.dump());
+}
+
+}  // namespace mcb

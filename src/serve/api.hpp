@@ -1,0 +1,61 @@
+// The MCBound REST API (paper §III-E): a JSON-over-HTTP facade over
+// mcbound::Framework, matching the operations the flask backend exposes.
+//
+//   GET  /health        -> {"status":"ok","model":...,"version":...}
+//   GET  /model/info    -> model kind, version, feature set, ridge point
+//   POST /characterize  -> executed-job JSON -> {"label":...,"metrics":{...}}
+//   POST /encode        -> job JSON -> {"embedding":[384 floats]}
+//   GET  /jobs?from=A&to=B[&field=submit|end] -> job list from the store
+//   POST /predict       -> submitted-job JSON -> {"label":"memory-bound"|...}
+//   POST /train         -> {"now": <epoch s>} -> training report JSON
+//
+// Mutating endpoints are serialized by an internal mutex; read endpoints
+// take the same lock briefly to snapshot model state (the framework is
+// not internally synchronized).
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "core/mcbound.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace mcb {
+
+/// JSON <-> JobRecord conversion used by the API (exposed for tests).
+Json job_to_json(const JobRecord& job);
+std::optional<JobRecord> job_from_json(const Json& json, std::string* error = nullptr);
+
+/// Binds the MCBound operations onto an HttpServer. The framework must
+/// outlive the ApiServer.
+class ApiServer {
+ public:
+  explicit ApiServer(Framework& framework);
+
+  /// Start serving on the given port (0 = ephemeral). Returns false on
+  /// bind failure.
+  bool start(int port);
+  void stop() { server_.stop(); }
+  int port() const noexcept { return server_.port(); }
+
+  /// Route table access for socket-less testing.
+  HttpResponse dispatch(const HttpRequest& request) const { return server_.dispatch(request); }
+
+ private:
+  void install_routes();
+
+  HttpResponse handle_health(const HttpRequest& request);
+  HttpResponse handle_model_info(const HttpRequest& request);
+  HttpResponse handle_characterize(const HttpRequest& request);
+  HttpResponse handle_encode(const HttpRequest& request);
+  HttpResponse handle_jobs(const HttpRequest& request);
+  HttpResponse handle_predict(const HttpRequest& request);
+  HttpResponse handle_train(const HttpRequest& request);
+
+  Framework* framework_;
+  HttpServer server_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace mcb

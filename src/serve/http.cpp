@@ -1,0 +1,107 @@
+#include "serve/http.hpp"
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+std::string_view http_status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view raw) {
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return std::nullopt;
+  const std::string_view head = raw.substr(0, head_end);
+
+  HttpRequest request;
+  std::size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    std::size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = head.substr(line_start, line_end - line_start);
+
+    if (first_line) {
+      // METHOD SP target SP HTTP/x.y
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+      request.method = std::string(line.substr(0, sp1));
+      std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view version = line.substr(sp2 + 1);
+      if (!starts_with(version, "HTTP/")) return std::nullopt;
+      const std::size_t qmark = target.find('?');
+      if (qmark != std::string_view::npos) {
+        request.query = std::string(target.substr(qmark + 1));
+        target = target.substr(0, qmark);
+      }
+      request.path = std::string(target);
+      if (request.method.empty() || request.path.empty() || request.path[0] != '/') {
+        return std::nullopt;
+      }
+      first_line = false;
+    } else if (!line.empty()) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) return std::nullopt;
+      request.headers.emplace(to_lower(trim(line.substr(0, colon))),
+                              std::string(trim(line.substr(colon + 1))));
+    }
+    if (line_end >= head.size()) break;
+    line_start = line_end + 2;
+  }
+  if (first_line) return std::nullopt;
+
+  const auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    std::uint64_t length = 0;
+    if (!parse_u64(it->second, length)) return std::nullopt;
+    const std::string_view body = raw.substr(head_end + 4);
+    if (body.size() < length) return std::nullopt;  // incomplete
+    request.body = std::string(body.substr(0, length));
+  }
+  return request;
+}
+
+std::string serialize_http_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += http_status_text(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::size_t expected_request_length(std::string_view received) {
+  const std::size_t head_end = received.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return 0;
+  std::size_t content_length = 0;
+  // Cheap scan for the Content-Length header inside the head.
+  const std::string head = to_lower(received.substr(0, head_end));
+  const std::size_t pos = head.find("content-length:");
+  if (pos != std::string::npos) {
+    std::uint64_t length = 0;
+    std::size_t value_start = pos + 15;
+    std::size_t value_end = head.find("\r\n", value_start);
+    if (value_end == std::string::npos) value_end = head.size();
+    if (parse_u64(std::string_view(head).substr(value_start, value_end - value_start),
+                  length)) {
+      content_length = static_cast<std::size_t>(length);
+    }
+  }
+  return head_end + 4 + content_length;
+}
+
+}  // namespace mcb

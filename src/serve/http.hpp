@@ -1,0 +1,50 @@
+// Minimal HTTP/1.1 message types and wire parsing — enough protocol for
+// the MCBound REST API (the paper deploys a flask backend; this is the
+// dependency-free C++ equivalent). Supports request line + headers +
+// Content-Length bodies; no chunked encoding, no keep-alive pipelining.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcb {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string path;     ///< "/predict" (query string split off into `query`)
+  std::string query;    ///< raw query string without '?'
+  std::map<std::string, std::string> headers;  ///< lower-cased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+/// Reason phrase for the handful of status codes the API uses.
+std::string_view http_status_text(int status) noexcept;
+
+/// Parse a full request (head + body already concatenated). Returns
+/// nullopt on malformed input.
+std::optional<HttpRequest> parse_http_request(std::string_view raw);
+
+/// Serialize a response to the wire format (adds Content-Length).
+std::string serialize_http_response(const HttpResponse& response);
+
+/// Incremental request reader helper: given the bytes received so far,
+/// returns the total expected length (head + Content-Length) once the
+/// header terminator has arrived, or 0 if more header bytes are needed.
+std::size_t expected_request_length(std::string_view received);
+
+}  // namespace mcb

@@ -1,0 +1,186 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+namespace mcb {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024 * 1024;
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& method, const std::string& path,
+                       HttpHandler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  const auto it = routes_.find({request.method, request.path});
+  if (it != routes_.end()) {
+    try {
+      return it->second(request);
+    } catch (const std::exception& e) {
+      return HttpResponse::json(500, std::string(R"({"error":")") + e.what() + "\"}");
+    }
+  }
+  // Distinguish 404 from 405 for better API ergonomics.
+  for (const auto& [key, handler] : routes_) {
+    (void)handler;
+    if (key.second == request.path) {
+      return HttpResponse::json(405, R"({"error":"method not allowed"})");
+    }
+  }
+  return HttpResponse::json(404, R"({"error":"not found"})");
+}
+
+bool HttpServer::start(int port) {
+  if (running_.load()) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  const int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(workers_mutex_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    std::lock_guard lock(workers_mutex_);
+    // Reap finished workers opportunistically to bound the vector.
+    if (workers_.size() > 64) {
+      for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+      }
+      workers_.clear();
+    }
+    workers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string received;
+  char buffer[8192];
+  std::size_t expected = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    received.append(buffer, static_cast<std::size_t>(n));
+    if (received.size() > kMaxRequestBytes) {
+      send_all(fd, serialize_http_response(
+                       HttpResponse::json(400, R"({"error":"request too large"})")));
+      ::close(fd);
+      return;
+    }
+    if (expected == 0) expected = expected_request_length(received);
+    if (expected != 0 && received.size() >= expected) break;
+  }
+
+  const auto request = parse_http_request(received);
+  const HttpResponse response =
+      request.has_value()
+          ? dispatch(*request)
+          : HttpResponse::json(400, R"({"error":"malformed request"})");
+  send_all(fd, serialize_http_response(response));
+  ::close(fd);
+}
+
+bool http_request(int port, const std::string& method, const std::string& path,
+                  const std::string& body, int& status_out, std::string& body_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string received;
+  char buffer[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Parse the status line and body.
+  const std::size_t line_end = received.find("\r\n");
+  const std::size_t head_end = received.find("\r\n\r\n");
+  if (line_end == std::string::npos || head_end == std::string::npos) return false;
+  const std::string status_line = received.substr(0, line_end);
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) return false;
+  status_out = std::atoi(status_line.c_str() + sp + 1);
+  body_out = received.substr(head_end + 4);
+  return true;
+}
+
+}  // namespace mcb

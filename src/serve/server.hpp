@@ -1,0 +1,65 @@
+// Threaded TCP HTTP server with a path-based router. Listens on
+// 127.0.0.1, one worker thread per accepted connection (connections are
+// short-lived: Connection: close). Port 0 binds an ephemeral port —
+// tests read the bound port back.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+
+namespace mcb {
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for (method, exact path). Must be called before
+  /// start().
+  void route(const std::string& method, const std::string& path, HttpHandler handler);
+
+  /// Bind + listen + spawn the accept loop. Returns false on bind
+  /// failure. Thread-safe to call once.
+  bool start(int port);
+
+  /// Stop accepting, close the listener and join workers.
+  void stop();
+
+  bool is_running() const noexcept { return running_.load(); }
+  int port() const noexcept { return port_; }
+
+  /// Dispatch a request through the routing table without any sockets
+  /// (used by unit tests and by in-process clients).
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mutex_;
+};
+
+/// Blocking loopback HTTP client for tests/examples: send one request to
+/// 127.0.0.1:port and return the parsed response body + status. Returns
+/// false on connection failure.
+bool http_request(int port, const std::string& method, const std::string& path,
+                  const std::string& body, int& status_out, std::string& body_out);
+
+}  // namespace mcb

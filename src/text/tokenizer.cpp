@@ -1,0 +1,50 @@
+#include "text/tokenizer.hpp"
+
+namespace mcb {
+
+std::vector<std::string> word_tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    if (alnum) {
+      current += c;
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> char_ngrams(std::string_view word, std::size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  std::string padded;
+  padded.reserve(word.size() + 2);
+  padded += '^';
+  padded.append(word);
+  padded += '$';
+  if (padded.size() <= n) {
+    grams.push_back(padded);
+    return grams;
+  }
+  grams.reserve(padded.size() - n + 1);
+  for (std::size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t salt) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL ^ (salt * 0x9e3779b97f4a7c15ULL);
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace mcb

@@ -1,0 +1,29 @@
+// Tokenization for job feature strings.
+//
+// Feature strings look like "u02194,wrf_ensemble_run12,384,8,lang/tcsds-1.2.38,2200".
+// We lower-case, split on any non-alphanumeric character, and expand each
+// word into boundary-marked character n-grams so that job-name *families*
+// ("wrf_run_a" vs "wrf_run_b") share most of their features — the property
+// SBERT embeddings give the paper's KNN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcb {
+
+/// Lower-cased alphanumeric word tokens ("wrf_run12" -> {"wrf","run12"}).
+std::vector<std::string> word_tokens(std::string_view text);
+
+/// Boundary-marked character n-grams of a single word:
+/// ngrams("wrf", 3) -> {"^wr", "wrf", "rf$"}. Words shorter than n yield
+/// the whole padded word once.
+std::vector<std::string> char_ngrams(std::string_view word, std::size_t n);
+
+/// FNV-1a 64-bit hash of a byte string, optionally salted (used by the
+/// encoder for index/sign hashing).
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t salt = 0) noexcept;
+
+}  // namespace mcb

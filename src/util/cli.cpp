@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+std::optional<CliFlags> CliFlags::parse(int argc, char** argv,
+                                        const std::vector<std::string>& known_flags,
+                                        const std::string& usage) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s\n", usage.c_str());
+      flags.help_ = true;
+      return flags;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s\n", arg.c_str(), usage.c_str());
+      return std::nullopt;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag '--%s' requires a value\n%s\n", name.c_str(), usage.c_str());
+      return std::nullopt;
+    }
+    if (std::find(known_flags.begin(), known_flags.end(), name) == known_flags.end()) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s\n", name.c_str(), usage.c_str());
+      return std::nullopt;
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+std::string CliFlags::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  return parse_i64(it->second, out) ? out : fallback;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double out = 0.0;
+  return parse_double(it->second, out) ? out : fallback;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace mcb

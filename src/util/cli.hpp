@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+// Flags are "--name value" or "--name=value"; unknown flags are an error
+// so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcb {
+
+class CliFlags {
+ public:
+  /// Parse argv. On error prints the message + usage to stderr and
+  /// returns std::nullopt. "--help" also yields nullopt after printing
+  /// usage (callers should exit 0/2 accordingly via `help_requested`).
+  static std::optional<CliFlags> parse(int argc, char** argv,
+                                       const std::vector<std::string>& known_flags,
+                                       const std::string& usage);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  bool help_requested() const { return help_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace mcb

@@ -1,0 +1,79 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace mcb {
+
+std::string csv_quote(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_quote(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_row(fields);
+}
+
+bool CsvReader::next_row(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    fields = csv_parse_line(line);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mcb

@@ -1,0 +1,42 @@
+// RFC-4180-style CSV reading/writing, used by the job store for
+// persistence (our stand-in for the Zenodo F-DATA export).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcb {
+
+/// Quote a field if it contains a comma, quote or newline.
+std::string csv_quote(std::string_view field);
+
+/// Serialize one row (appends trailing '\n').
+std::string csv_row(const std::vector<std::string>& fields);
+
+/// Parse a single CSV record (handles quoted fields with embedded commas
+/// and doubled quotes). Newlines inside quoted fields are not supported —
+/// the job store writes one record per line.
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+  /// Returns false at end of stream; skips blank lines.
+  bool next_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace mcb

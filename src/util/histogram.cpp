@@ -1,0 +1,120 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(bins, 1), 0) {}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  const double span = hi_ - lo_;
+  std::size_t bin = 0;
+  if (span > 0) {
+    const double frac = (x - lo_) / span;
+    const auto idx = static_cast<std::ptrdiff_t>(std::floor(frac * static_cast<double>(counts_.size())));
+    bin = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+  }
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return bin_lo(bin + 1);
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char head[80];
+    std::snprintf(head, sizeof(head), "[%10.3f, %10.3f) %10llu |", bin_lo(b), bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += head;
+    const auto bar = static_cast<int>(static_cast<double>(counts_[b]) /
+                                      static_cast<double>(max_count) * width);
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+LogGrid2D::LogGrid2D(double x_lo, double x_hi, std::size_t x_bins,
+                     double y_lo, double y_hi, std::size_t y_bins)
+    : x_lo_(std::log10(x_lo)), x_hi_(std::log10(x_hi)),
+      y_lo_(std::log10(y_lo)), y_hi_(std::log10(y_hi)),
+      x_bins_(std::max<std::size_t>(x_bins, 1)), y_bins_(std::max<std::size_t>(y_bins, 1)),
+      cells_(x_bins_ * y_bins_, 0) {}
+
+std::size_t LogGrid2D::x_index(double x) const noexcept {
+  const double lx = std::log10(std::max(x, 1e-30));
+  const double frac = (lx - x_lo_) / (x_hi_ - x_lo_);
+  const auto idx = static_cast<std::ptrdiff_t>(std::floor(frac * static_cast<double>(x_bins_)));
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(x_bins_) - 1));
+}
+
+void LogGrid2D::add(double x, double y) noexcept {
+  const std::size_t xb = x_index(x);
+  const double ly = std::log10(std::max(y, 1e-30));
+  const double yfrac = (ly - y_lo_) / (y_hi_ - y_lo_);
+  const auto yi = static_cast<std::ptrdiff_t>(std::floor(yfrac * static_cast<double>(y_bins_)));
+  const std::size_t yb = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      yi, 0, static_cast<std::ptrdiff_t>(y_bins_) - 1));
+  ++cells_[yb * x_bins_ + xb];
+  ++total_;
+}
+
+std::uint64_t LogGrid2D::cell(std::size_t xb, std::size_t yb) const {
+  return cells_.at(yb * x_bins_ + xb);
+}
+
+std::string LogGrid2D::render(double x_marker) const {
+  static constexpr char kGlyphs[] = " .:-=+*#%@";
+  std::uint64_t max_count = 1;
+  for (const auto c : cells_) max_count = std::max(max_count, c);
+  const double log_max = std::log1p(static_cast<double>(max_count));
+  const std::size_t marker_col = x_marker > 0 ? x_index(x_marker) : x_bins_;
+
+  std::string out;
+  for (std::size_t row = y_bins_; row-- > 0;) {
+    const double y_axis = std::pow(10.0, y_lo_ + (y_hi_ - y_lo_) *
+                                              (static_cast<double>(row) + 0.5) /
+                                              static_cast<double>(y_bins_));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%9.2e |", y_axis);
+    out += label;
+    for (std::size_t col = 0; col < x_bins_; ++col) {
+      const std::uint64_t c = cells_[row * x_bins_ + col];
+      if (c == 0) {
+        out += (col == marker_col) ? '|' : ' ';
+      } else {
+        const double level = std::log1p(static_cast<double>(c)) / log_max;
+        const auto glyph = static_cast<std::size_t>(level * (sizeof(kGlyphs) - 2));
+        out += kGlyphs[std::min<std::size_t>(glyph, sizeof(kGlyphs) - 2)];
+      }
+    }
+    out += '\n';
+  }
+  out += "          +";
+  out.append(x_bins_, '-');
+  out += '\n';
+  char foot[96];
+  std::snprintf(foot, sizeof(foot), "           x: %.2e .. %.2e (log10)%s\n",
+                std::pow(10.0, x_lo_), std::pow(10.0, x_hi_),
+                x_marker > 0 ? "  '|' marks the ridge point" : "");
+  out += foot;
+  return out;
+}
+
+}  // namespace mcb

@@ -1,0 +1,61 @@
+// Histograms used to summarize the paper's scatter figures in terminal
+// output: a 1-D fixed/log-width histogram and a 2-D log-log density grid
+// (the textual equivalent of the roofline scatter plots, Figs. 3 and 5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcb {
+
+/// 1-D histogram over [lo, hi) with `bins` equal-width bins; samples
+/// outside the range are clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+  std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+
+  /// Render as rows of "[lo, hi) count ######" bars scaled to `width`.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// 2-D histogram on log10 axes; the textual roofline plot. X is
+/// operational intensity (flops/byte), Y is performance (GFlop/s).
+class LogGrid2D {
+ public:
+  LogGrid2D(double x_lo, double x_hi, std::size_t x_bins,
+            double y_lo, double y_hi, std::size_t y_bins);
+
+  void add(double x, double y) noexcept;
+  std::uint64_t cell(std::size_t xb, std::size_t yb) const;
+  std::size_t x_bins() const noexcept { return x_bins_; }
+  std::size_t y_bins() const noexcept { return y_bins_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII density plot (rows = descending y), with density glyphs
+  /// " .:-=+*#%@" by log-count. `x_marker` draws a vertical line at the
+  /// given x value (we use it for the roofline ridge point).
+  std::string render(double x_marker = -1.0) const;
+
+ private:
+  std::size_t x_index(double x) const noexcept;
+  double x_lo_, x_hi_, y_lo_, y_hi_;  // log10 bounds
+  std::size_t x_bins_, y_bins_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcb

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace mcb {
+
+std::uint64_t Rng::bounded(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0, 1] so the log is finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u = 1.0 - uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean regime used by the workload generator.
+  double x = std::round(normal(mean, std::sqrt(mean)));
+  return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  p = std::clamp(p, 1e-12, 1.0);
+  if (p >= 1.0) return 0;
+  double u = 1.0 - uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = uniform() * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  k = std::min(k, n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 < n) {
+    // Floyd's algorithm: expected O(k) with a small hash set.
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    for (std::size_t j = n - k; j < n; ++j) {
+      std::size_t t = bounded(j + 1);
+      if (!chosen.insert(t).second) {
+        chosen.insert(j);
+        out.push_back(j);
+      } else {
+        out.push_back(t);
+      }
+    }
+  } else {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + bounded(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcb

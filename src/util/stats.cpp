@@ -1,0 +1,45 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcb {
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<double> copy(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(lo), copy.end());
+  const double lo_val = copy[lo];
+  if (hi == lo) return lo_val;
+  const double hi_val = *std::min_element(copy.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                                          copy.end());
+  return lo_val + (rank - static_cast<double>(lo)) * (hi_val - lo_val);
+}
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace mcb

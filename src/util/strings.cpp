@@ -1,0 +1,90 @@
+#include "util/strings.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace mcb {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+  };
+  std::size_t b = 0, e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  return text.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string with_thousands(std::int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return value < 0 ? "-" + out : out;
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  text = trim(text);
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), out);
+  return res.ec == std::errc{} && res.ptr == text.data() + text.size();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  text = trim(text);
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), out);
+  return res.ec == std::errc{} && res.ptr == text.data() + text.size();
+}
+
+bool parse_double(std::string_view text, double& out) {
+  text = trim(text);
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), out);
+  return res.ec == std::errc{} && res.ptr == text.data() + text.size();
+}
+
+}  // namespace mcb

@@ -1,0 +1,36 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcb {
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Join pieces with the given separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (locale independent).
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Format a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+std::string with_thousands(std::int64_t value);
+
+/// Parse helpers returning false on malformed input (no exceptions).
+bool parse_i64(std::string_view text, std::int64_t& out);
+bool parse_u64(std::string_view text, std::uint64_t& out);
+bool parse_double(std::string_view text, double& out);
+
+}  // namespace mcb

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  std::vector<bool> numeric(cols, true);
+  const auto measure = [&](const std::vector<std::string>& row, bool body) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (body) {
+        double v = 0.0;
+        if (!row[c].empty() && !parse_double(row[c], v)) numeric[c] = false;
+      }
+    }
+  };
+  measure(header_, false);
+  for (const auto& row : rows_) measure(row, true);
+
+  const auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += (c == 0) ? "| " : " | ";
+      const std::size_t pad = widths[c] - std::min(widths[c], cell.size());
+      if (numeric[c]) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+    }
+    out += " |\n";
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < cols; ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule;
+  emit(header_, out);
+  out += rule;
+  for (const auto& row : rows_) emit(row, out);
+  out += rule;
+  return out;
+}
+
+}  // namespace mcb

@@ -1,0 +1,26 @@
+// ASCII table renderer used by the benchmark binaries to print the
+// paper's tables/figure series in aligned, diff-friendly form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule; columns are right-aligned when every body
+  /// cell parses as a number, left-aligned otherwise.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcb

@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+
+namespace mcb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers <= 1 || n <= grain) {
+    chunk_fn(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers * 4, std::max<std::size_t>(1, n / grain));
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  std::size_t launched = 0;
+  for (std::size_t lo = begin; lo < end; lo += chunk_size) ++launched;
+  remaining.store(launched, std::memory_order_relaxed);
+
+  for (std::size_t lo = begin; lo < end; lo += chunk_size) {
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    pool->submit([&, lo, hi] {
+      try {
+        chunk_fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_each(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  parallel_for(
+      pool, begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace mcb

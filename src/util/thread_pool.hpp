@@ -1,0 +1,69 @@
+// Fixed-size worker pool with a blocking task queue and a chunked
+// parallel_for. This is the shared-memory parallel substrate used by the
+// random forest trainer, the KNN query scan and the workload generator.
+//
+// Design notes:
+//  * Tasks are type-erased std::move_only_function-style callables.
+//  * parallel_for splits [begin, end) into contiguous chunks so each
+//    worker touches a contiguous slice (cache friendliness matters more
+//    than perfect load balance for our kernels).
+//  * On a single-core machine the pool degrades to one worker; callers
+//    may also request serial execution by passing concurrency 0/1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcb {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for every i in [begin, end) using the given pool, blocking
+/// until completion. Chunks are contiguous; `grain` is the minimum chunk
+/// size (prevents oversubscription on tiny ranges). Passing pool == nullptr
+/// or a 1-thread range executes serially on the calling thread.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                  std::size_t grain = 64);
+
+/// Element-wise convenience overload.
+void parallel_for_each(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t grain = 64);
+
+}  // namespace mcb

@@ -1,0 +1,78 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+std::int64_t days_from_civil(CivilDate date) noexcept {
+  std::int64_t y = date.year;
+  const std::int64_t m = date.month;
+  const std::int64_t d = date.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const std::int64_t yoe = y - era * 400;                                      // [0, 399]
+  const std::int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;     // [0, 365]
+  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;              // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const std::int64_t doe = z - era * 146097;                                   // [0, 146096]
+  const std::int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);            // [0, 365]
+  const std::int64_t mp = (5 * doy + 2) / 153;                                 // [0, 11]
+  const std::int64_t d = doy - (153 * mp + 2) / 5 + 1;                         // [1, 31]
+  const std::int64_t m = mp + (mp < 10 ? 3 : -9);                              // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m), static_cast<int>(d)};
+}
+
+TimePoint timepoint_from_date(CivilDate date) noexcept {
+  return days_from_civil(date) * kSecondsPerDay;
+}
+
+TimePoint timepoint_from_ymd(int year, int month, int day) noexcept {
+  return timepoint_from_date(CivilDate{year, month, day});
+}
+
+std::int64_t day_index(TimePoint t, TimePoint epoch) noexcept {
+  const std::int64_t diff = t - epoch;
+  // Floor division for negative offsets.
+  return diff >= 0 ? diff / kSecondsPerDay : -((-diff + kSecondsPerDay - 1) / kSecondsPerDay);
+}
+
+std::string format_date(TimePoint t) {
+  const std::int64_t days = day_index(t, 0);
+  const CivilDate d = civil_from_days(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_datetime(TimePoint t) {
+  const std::int64_t days = day_index(t, 0);
+  const CivilDate d = civil_from_days(days);
+  std::int64_t secs = t - days * kSecondsPerDay;
+  const int h = static_cast<int>(secs / 3600);
+  const int m = static_cast<int>((secs % 3600) / 60);
+  const int s = static_cast<int>(secs % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", d.year, d.month, d.day, h, m, s);
+  return buf;
+}
+
+bool parse_date(const std::string& text, TimePoint& out) {
+  const auto parts = split(trim(text), '-');
+  if (parts.size() != 3) return false;
+  std::int64_t y = 0, m = 0, d = 0;
+  if (!parse_i64(parts[0], y) || !parse_i64(parts[1], m) || !parse_i64(parts[2], d)) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  out = timepoint_from_ymd(static_cast<int>(y), static_cast<int>(m), static_cast<int>(d));
+  return true;
+}
+
+}  // namespace mcb

@@ -1,0 +1,49 @@
+// Civil-time helpers used by the job store and the online scheduler.
+//
+// All timestamps in the library are Unix epoch seconds (UTC). The
+// evaluation period of the paper (2023-12-01 .. 2024-03-31) is expressed
+// through these helpers; the day arithmetic (alpha/beta windows) works in
+// whole days relative to an epoch timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcb {
+
+using TimePoint = std::int64_t;  ///< Unix epoch seconds, UTC.
+
+inline constexpr std::int64_t kSecondsPerDay = 86'400;
+
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+};
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+/// Howard Hinnant's public-domain days_from_civil algorithm.
+std::int64_t days_from_civil(CivilDate date) noexcept;
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Midnight UTC of the given date, as epoch seconds.
+TimePoint timepoint_from_date(CivilDate date) noexcept;
+
+/// Convenience: timepoint from numeric y/m/d.
+TimePoint timepoint_from_ymd(int year, int month, int day) noexcept;
+
+/// Day index (floor) of a timestamp relative to an epoch timestamp.
+std::int64_t day_index(TimePoint t, TimePoint epoch) noexcept;
+
+/// "YYYY-MM-DD" for the UTC day containing t.
+std::string format_date(TimePoint t);
+
+/// "YYYY-MM-DD HH:MM:SS" UTC.
+std::string format_datetime(TimePoint t);
+
+/// Parse "YYYY-MM-DD"; returns false on malformed input.
+bool parse_date(const std::string& text, TimePoint& out);
+
+}  // namespace mcb

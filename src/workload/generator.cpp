@@ -1,0 +1,307 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+
+namespace mcb {
+namespace {
+
+// Domain-flavoured name fragments; apps draw a unique base name from
+// these pools plus a base36 app token, so job-name *families* share
+// character n-grams while remaining distinguishable.
+constexpr std::array<const char*, 20> kDomains = {
+    "cfd",    "qcd",     "md",      "wrf",     "nicam",  "genesis", "lqcd",
+    "fem",    "spmv",    "stencil", "gemm",    "dlrm",   "genome",  "seismic",
+    "climate", "plasma", "fusion",  "mlperf",  "cosmo",  "lattice"};
+
+constexpr std::array<const char*, 10> kVerbs = {
+    "solve", "run", "sim", "train", "bench", "prod", "scan", "opt", "sweep", "calc"};
+
+constexpr std::array<const char*, 9> kEnvironments = {
+    "lang/tcsds-1.2.38",
+    "lang/tcsds-1.2.38;mpi/fujitsu",
+    "gcc/12.2;openmpi/4.1",
+    "lang/tcsds-1.2.36",
+    "python/3.11;pytorch/2.1",
+    "fujitsu/clang-16;mpi/fujitsu",
+    "spack/2024a;gcc/13.1",
+    "lang/tcsds-1.2.38;eigen/3.4",
+    "container/singularity-3.8",
+};
+
+std::string base36(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  do {
+    out += kDigits[value % 36];
+    value /= 36;
+  } while (value != 0);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+enum class AppCategory { kMemory, kStraddler, kCompute };
+
+}  // namespace
+
+WorkloadConfig scaled_workload_config(double jobs_per_day, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.jobs_per_day = jobs_per_day;
+  config.seed = seed;
+  return config;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(std::move(config)) {}
+
+AppArchetype WorkloadGenerator::make_app(std::uint32_t app_id, std::int64_t birth_day,
+                                         Rng& rng) const {
+  AppArchetype app;
+  app.app_id = app_id;
+  app.birth_day = birth_day;
+  const double lifetime =
+      std::max(5.0, rng.exponential(1.0 / config_.app_lifetime_mean_days));
+  app.death_day = birth_day + static_cast<std::int64_t>(std::ceil(lifetime));
+
+  // Owning user: power-law so a few users own many apps (realistic for
+  // production systems with heavy-hitter groups).
+  const std::size_t n_users = std::max<std::size_t>(10, config_.target_active_apps / 2);
+  const double u = rng.uniform();
+  const auto user_idx = static_cast<std::size_t>(u * u * static_cast<double>(n_users));
+  char user_buf[16];
+  std::snprintf(user_buf, sizeof(user_buf), "u%05zu", user_idx);
+  app.user_name = user_buf;
+
+  app.base_name = std::string(kDomains[rng.bounded(kDomains.size())]) + "_" +
+                  kVerbs[rng.bounded(kVerbs.size())] + "_" + base36(app_id + 36);
+  app.environment = kEnvironments[rng.bounded(kEnvironments.size())];
+
+  // Intensity category: the mixture that yields the paper's ~77.5%
+  // memory-bound share, with straddlers providing the irreducible error.
+  const double ridge_ln = std::log(config_.machine.ridge_point());
+  const std::array<double, 3> weights = {config_.frac_memory_apps,
+                                         config_.frac_straddler_apps,
+                                         config_.frac_compute_apps};
+  const auto draw_op_mu = [&](AppCategory category) {
+    switch (category) {
+      case AppCategory::kMemory: return rng.normal(std::log(0.15), 0.9);
+      case AppCategory::kStraddler: return rng.normal(ridge_ln, 0.35);
+      case AppCategory::kCompute: return rng.normal(std::log(20.0), 0.8);
+    }
+    return 0.0;
+  };
+  const auto category = static_cast<AppCategory>(rng.categorical(weights));
+  app.op_mu = draw_op_mu(category);
+
+  // Mid-life phase change: the app's workload shifts (new solver, new
+  // problem size), re-drawing from the full mixture — this is the drift
+  // that makes old training data actively misleading.
+  if (rng.bernoulli(config_.phase_change_probability)) {
+    app.phase_change_day =
+        birth_day + rng.range(1, std::max<std::int64_t>(1, app.death_day - birth_day - 1));
+    const auto new_category = static_cast<AppCategory>(rng.categorical(weights));
+    app.op_mu_after_change = draw_op_mu(new_category);
+  } else {
+    app.op_mu_after_change = app.op_mu;
+  }
+
+  // Attained fraction of the roofline: the bulk of jobs sit well below
+  // the roof, with a small "well-engineered" population near it (the
+  // clusters visible in Fig. 3).
+  if (rng.bernoulli(0.08)) {
+    app.efficiency = rng.uniform(0.55, 0.95);
+  } else {
+    app.efficiency = std::clamp(rng.lognormal(std::log(0.08), 1.0), 0.001, 0.95);
+  }
+
+  // Frequency-mode propensity calibrated to Table II, noisy per app and
+  // independent of the app's intensity *value* (Fig. 5: no correlation).
+  double boost_center = 0.40;
+  if (category == AppCategory::kMemory) boost_center = config_.memory_app_boost_prob;
+  if (category == AppCategory::kCompute) boost_center = config_.compute_app_boost_prob;
+  app.boost_probability = std::clamp(rng.normal(boost_center, 0.15), 0.05, 0.95);
+
+  // Durations: paper §V-C(d) reports ~6000 s average for memory-bound
+  // jobs in boost mode and ~13500 s for compute-bound in normal mode.
+  switch (category) {
+    case AppCategory::kMemory: app.duration_mu = rng.normal(8.4, 0.7); break;
+    case AppCategory::kStraddler: app.duration_mu = rng.normal(8.8, 0.7); break;
+    case AppCategory::kCompute: app.duration_mu = rng.normal(9.3, 0.7); break;
+  }
+  app.duration_sigma = rng.uniform(0.3, 0.8);
+
+  app.nodes_typical = static_cast<std::uint32_t>(
+      std::clamp(std::lround(rng.lognormal(std::log(2.0), 1.2)), 1L, 1024L));
+  app.sve_fraction = rng.uniform(0.5, 0.98);
+  app.read_fraction = rng.uniform(0.5, 0.85);
+  // Communication intensity: ~10% of apps are communication-heavy
+  // (halo exchanges, all-to-alls) and can become interconnect-bound.
+  if (rng.bernoulli(0.10)) {
+    app.net_bytes_per_flop = rng.lognormal(std::log(0.2), 0.7);
+  } else {
+    app.net_bytes_per_flop = rng.lognormal(std::log(1e-3), 1.2);
+  }
+  return app;
+}
+
+void WorkloadGenerator::build_app_population(Rng& rng) {
+  apps_.clear();
+  const auto total_days = day_index(config_.end_time - 1, config_.start_time) + 1;
+  // Steady-state birth rate; warm-up horizon covers apps alive at day 0.
+  const double birth_rate =
+      static_cast<double>(config_.target_active_apps) / config_.app_lifetime_mean_days;
+  const auto warmup = static_cast<std::int64_t>(config_.app_lifetime_mean_days * 4.0);
+
+  std::uint32_t app_id = 0;
+  for (std::int64_t day = -warmup; day < total_days; ++day) {
+    const std::uint64_t births = rng.poisson(birth_rate);
+    for (std::uint64_t b = 0; b < births; ++b) {
+      AppArchetype app = make_app(app_id++, day, rng);
+      if (app.death_day > 0) apps_.push_back(std::move(app));  // alive inside the period
+    }
+  }
+}
+
+JobRecord WorkloadGenerator::synthesize_job(const AppArchetype& app,
+                                            const std::string& job_name, FrequencyMode freq,
+                                            std::uint32_t nodes, std::uint32_t cores,
+                                            TimePoint submit, Rng& rng) const {
+  JobRecord job;
+  job.user_name = app.user_name;
+  job.job_name = job_name;
+  job.environment = app.environment;
+  job.nodes_requested = nodes;
+  job.cores_requested = cores;
+  job.frequency = freq;
+  job.submit_time = submit;
+  job.nodes_allocated = nodes;
+
+  // Scheduling wait: ~3 minutes on average in the observed period.
+  const auto wait = static_cast<std::int64_t>(rng.exponential(1.0 / 180.0));
+  job.start_time = submit + wait;
+  const std::int64_t day_rel = day_index(submit, config_.start_time);
+  const double op_mu = (app.phase_change_day >= 0 && day_rel >= app.phase_change_day)
+                           ? app.op_mu_after_change
+                           : app.op_mu;
+  const double op = std::exp(rng.normal(op_mu, config_.job_intensity_sigma));
+
+  const auto duration = static_cast<std::int64_t>(
+      std::clamp(rng.lognormal(app.duration_mu, app.duration_sigma), 60.0, 172'800.0));
+  job.end_time = job.start_time + duration;
+  job.exit_status = rng.bernoulli(0.03) ? 1 : 0;
+
+  // Per-node performance: efficiency x attainable roofline, where the
+  // compute roof scales with the selected clock (normal mode runs the
+  // FP pipeline ~9% slower; memory bandwidth is unaffected).
+  const double clock_scale = static_cast<double>(frequency_mhz(freq)) / 2200.0;
+  const double compute_roof = config_.machine.peak_gflops * clock_scale;
+  const double bandwidth_roof = op * config_.machine.peak_bandwidth_gbs;
+  // Communication-heavy jobs are additionally capped by the per-node
+  // interconnect injection bandwidth (multi-node jobs only).
+  double network_roof = std::numeric_limits<double>::infinity();
+  if (config_.machine.peak_network_gbs > 0.0 && nodes > 1 &&
+      app.net_bytes_per_flop > 0.0) {
+    network_roof = config_.machine.peak_network_gbs / app.net_bytes_per_flop;
+  }
+  const double p_node_gflops =
+      app.efficiency * std::min({compute_roof, bandwidth_roof, network_roof});
+
+  const double node_seconds = static_cast<double>(duration) * static_cast<double>(nodes);
+  const double total_flops = p_node_gflops * 1e9 * node_seconds;
+  const double total_bytes = total_flops / op;
+
+  // Invert the characterizer's counter model (Eq. 4-5).
+  job.perf3 = total_flops * app.sve_fraction / 4.0;
+  job.perf2 = total_flops * (1.0 - app.sve_fraction);
+  const double requests = total_bytes * 12.0 / 256.0;
+  job.perf4 = requests * app.read_fraction;
+  job.perf5 = requests * (1.0 - app.read_fraction);
+  job.perf6 = nodes > 1 ? total_flops * app.net_bytes_per_flop : 0.0;
+
+  // Node power model: idle + dynamic compute power (scales with clock)
+  // + memory-subsystem power, with small telemetry noise.
+  const double util_compute = p_node_gflops / compute_roof;
+  const double util_memory =
+      std::min(1.0, p_node_gflops / op / config_.machine.peak_bandwidth_gbs);
+  const double node_watts = 65.0 + 150.0 * util_compute * clock_scale +
+                            70.0 * util_memory + rng.normal(0.0, 3.0);
+  job.avg_power_watts = std::max(30.0, node_watts) * static_cast<double>(nodes);
+  return job;
+}
+
+void WorkloadGenerator::emit_campaign(const AppArchetype& app, std::int64_t day, Rng& rng,
+                                      std::vector<JobRecord>& out) {
+  const std::size_t size =
+      1 + static_cast<std::size_t>(rng.geometric(1.0 / config_.campaign_mean_size));
+
+  // Campaign-level choices shared by its near-identical jobs.
+  std::string name = app.base_name;
+  if (rng.bernoulli(0.35)) {
+    name += "_r" + std::to_string(1 + rng.bounded(12));
+  }
+  const FrequencyMode freq =
+      rng.bernoulli(app.boost_probability) ? FrequencyMode::kBoost : FrequencyMode::kNormal;
+
+  std::uint32_t nodes = app.nodes_typical;
+  if (rng.bernoulli(0.2)) {
+    nodes = rng.bernoulli(0.5) ? std::max(1U, nodes / 2) : std::min(2048U, nodes * 2);
+  }
+  std::uint32_t cores = nodes * 48;
+  if (nodes == 1 && rng.bernoulli(0.25)) {
+    cores = rng.bernoulli(0.5) ? 12 : 24;  // sub-node core requests
+  }
+
+  TimePoint submit = config_.start_time + day * kSecondsPerDay +
+                     static_cast<std::int64_t>(rng.uniform(0.0, 79'200.0));
+  for (std::size_t i = 0; i < size; ++i) {
+    if (submit >= config_.end_time) break;
+    if (submit >= config_.maintenance_start && submit < config_.maintenance_end) break;
+    out.push_back(synthesize_job(app, name, freq, nodes, cores, submit, rng));
+    submit += 1 + static_cast<std::int64_t>(rng.exponential(1.0 / 120.0));
+  }
+}
+
+std::vector<JobRecord> WorkloadGenerator::generate() {
+  Rng rng(config_.seed);
+  build_app_population(rng);
+  next_job_id_ = config_.first_job_id;
+
+  const auto total_days = day_index(config_.end_time - 1, config_.start_time) + 1;
+
+  // Index apps by liveness to avoid rescanning the population per day.
+  std::vector<JobRecord> jobs;
+  jobs.reserve(static_cast<std::size_t>(config_.jobs_per_day *
+                                        static_cast<double>(total_days) * 1.1));
+
+  for (std::int64_t day = 0; day < total_days; ++day) {
+    const TimePoint day_start = config_.start_time + day * kSecondsPerDay;
+    if (day_start >= config_.maintenance_start && day_start < config_.maintenance_end) {
+      continue;  // scheduled shutdown: no submissions (Fig. 2 dip)
+    }
+    std::vector<const AppArchetype*> active;
+    for (const auto& app : apps_) {
+      if (app.birth_day <= day && day < app.death_day) active.push_back(&app);
+    }
+    if (active.empty()) continue;
+    const double campaigns_per_app = config_.jobs_per_day /
+                                     (config_.campaign_mean_size *
+                                      static_cast<double>(active.size()));
+    for (const AppArchetype* app : active) {
+      const std::uint64_t n_campaigns = rng.poisson(campaigns_per_app);
+      for (std::uint64_t c = 0; c < n_campaigns; ++c) {
+        emit_campaign(*app, day, rng, jobs);
+      }
+    }
+  }
+
+  std::sort(jobs.begin(), jobs.end(), [](const JobRecord& a, const JobRecord& b) {
+    return a.submit_time != b.submit_time ? a.submit_time < b.submit_time
+                                          : a.end_time < b.end_time;
+  });
+  for (auto& job : jobs) job.job_id = next_job_id_++;
+  return jobs;
+}
+
+}  // namespace mcb

@@ -1,0 +1,294 @@
+// Tests for the §VI future-work extensions: the multi-roof
+// ExtendedCharacterizer (interconnect-bound class), the KNN regressor
+// (duration/power prediction) and the generator's power/network synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/knn_regressor.hpp"
+#include "roofline/extended.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace mcb {
+namespace {
+
+JobRecord counters_job(double perf2, double perf4, double perf6,
+                       std::int64_t duration = 1000, std::uint32_t nodes = 1) {
+  JobRecord job;
+  job.job_id = 1;
+  job.job_name = "x";
+  job.start_time = 0;
+  job.end_time = duration;
+  job.nodes_allocated = nodes;
+  job.perf2 = perf2;
+  job.perf4 = perf4;
+  job.perf5 = 0;
+  job.perf6 = perf6;
+  return job;
+}
+
+// ------------------------------------------------- ExtendedCharacterizer
+
+TEST(ExtendedCharacterizer, AgreesWithBaseOnTwoClasses) {
+  // With no network traffic the 3-class label must match the 2-class one.
+  const ExtendedCharacterizer extended(fugaku_node_spec());
+  const Characterizer base(fugaku_node_spec());
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const JobRecord job = counters_job(rng.uniform(0, 1e15), rng.uniform(1, 1e13), 0.0,
+                                       static_cast<std::int64_t>(rng.range(1, 50'000)),
+                                       static_cast<std::uint32_t>(rng.range(1, 256)));
+    const auto two = base.characterize(job);
+    const auto three = extended.characterize(job);
+    ASSERT_TRUE(two.has_value() && three.has_value());
+    EXPECT_NE(*three, ExtendedBoundedness::kInterconnectBound);
+    EXPECT_EQ(*two == Boundedness::kComputeBound,
+              *three == ExtendedBoundedness::kComputeBound);
+  }
+}
+
+TEST(ExtendedCharacterizer, DetectsInterconnectBound) {
+  const ExtendedCharacterizer extended(fugaku_node_spec());
+  // Low flops and memory traffic, but network at ~full Tofu injection:
+  // 40 GB/s * 1000 s = 4e13 bytes.
+  const JobRecord job = counters_job(/*perf2=*/1e12, /*perf4=*/1e9, /*perf6=*/4.0e13);
+  const auto label = extended.characterize(job);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(*label, ExtendedBoundedness::kInterconnectBound);
+}
+
+TEST(ExtendedCharacterizer, UtilizationValues) {
+  const ExtendedCharacterizer extended(fugaku_node_spec());
+  // 1000 s, 1 node: p = 1690 GF/s (half of peak), mb = 512 GB/s (half),
+  // nb = 20.4 GB/s (half of Tofu).
+  JobRecord job = counters_job(1690.0 * 1e9 * 1000.0,
+                               512.0 * 1e9 * 1000.0 * 12.0 / 256.0,
+                               20.4 * 1e9 * 1000.0);
+  const auto util = extended.utilization(job);
+  ASSERT_TRUE(util.has_value());
+  EXPECT_NEAR(util->compute, 0.5, 1e-9);
+  EXPECT_NEAR(util->memory, 0.5, 1e-9);
+  EXPECT_NEAR(util->interconnect, 0.5, 1e-9);
+  // Exact three-way tie resolves to memory (base convention).
+  EXPECT_EQ(util->dominant(), ExtendedBoundedness::kMemoryBound);
+}
+
+TEST(ExtendedCharacterizer, UnmodeledNetworkDegeneratesToTwoClasses) {
+  MachineSpec spec = fugaku_node_spec();
+  spec.peak_network_gbs = 0.0;
+  const ExtendedCharacterizer extended(spec);
+  const JobRecord job = counters_job(1e12, 1e9, 1e20);  // huge net traffic ignored
+  const auto label = extended.characterize(job);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_NE(*label, ExtendedBoundedness::kInterconnectBound);
+}
+
+TEST(ExtendedCharacterizer, GenerateLabelsWithSkips) {
+  const ExtendedCharacterizer extended(fugaku_node_spec());
+  std::vector<JobRecord> jobs{counters_job(1e15, 1e6, 0),
+                              counters_job(1, 1, 1, /*duration=*/0)};
+  std::size_t skipped = 0;
+  const auto labels = extended.generate_labels(jobs, &skipped);
+  ASSERT_EQ(labels.size(), 2U);
+  EXPECT_EQ(labels[0], ExtendedBoundedness::kComputeBound);
+  EXPECT_EQ(skipped, 1U);
+}
+
+TEST(ExtendedCharacterizer, NamesAreStable) {
+  EXPECT_STREQ(extended_boundedness_name(ExtendedBoundedness::kInterconnectBound),
+               "interconnect-bound");
+}
+
+// ------------------------------------------ generator power & network
+
+TEST(GeneratorExtensions, PowerIsPlausiblePerNode) {
+  WorkloadGenerator generator(scaled_workload_config(60.0, 9));
+  const auto jobs = generator.generate();
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& job : jobs) {
+    const double per_node = job.avg_power_watts / job.nodes_allocated;
+    EXPECT_GT(per_node, 30.0) << job.job_name;   // above idle floor
+    EXPECT_LT(per_node, 320.0) << job.job_name;  // below node TDP
+  }
+}
+
+TEST(GeneratorExtensions, BoostJobsDrawMorePowerAtSameUtilization) {
+  WorkloadConfig config = scaled_workload_config(150.0, 9);
+  config.frac_memory_apps = 0.0;
+  config.frac_straddler_apps = 0.0;
+  config.frac_compute_apps = 1.0;
+  WorkloadGenerator generator(config);
+  const auto jobs = generator.generate();
+  OnlineStats normal_power, boost_power;
+  for (const auto& job : jobs) {
+    const double per_node = job.avg_power_watts / job.nodes_allocated;
+    (job.frequency == FrequencyMode::kBoost ? boost_power : normal_power).add(per_node);
+  }
+  ASSERT_GT(normal_power.count(), 100U);
+  ASSERT_GT(boost_power.count(), 100U);
+  EXPECT_GT(boost_power.mean(), normal_power.mean());
+}
+
+TEST(GeneratorExtensions, SingleNodeJobsHaveNoNetworkTraffic) {
+  WorkloadGenerator generator(scaled_workload_config(60.0, 11));
+  const auto jobs = generator.generate();
+  std::size_t multi_with_net = 0, multi = 0;
+  for (const auto& job : jobs) {
+    if (job.nodes_allocated == 1) {
+      EXPECT_DOUBLE_EQ(job.perf6, 0.0);
+    } else {
+      ++multi;
+      multi_with_net += job.perf6 > 0.0;
+    }
+  }
+  ASSERT_GT(multi, 100U);
+  EXPECT_EQ(multi_with_net, multi);
+}
+
+TEST(GeneratorExtensions, NetworkBandwidthRespectsTofuRoof) {
+  WorkloadGenerator generator(scaled_workload_config(120.0, 13));
+  const auto jobs = generator.generate();
+  const MachineSpec spec = fugaku_node_spec();
+  std::size_t interconnect_bound = 0;
+  for (const auto& job : jobs) {
+    const double nb = ExtendedCharacterizer::network_bandwidth_gbs(job);
+    EXPECT_LE(nb, spec.peak_network_gbs * 1.0001);
+    if (nb > 0.5 * spec.peak_network_gbs) ++interconnect_bound;
+  }
+  // Communication-heavy apps exist (the extension's raison d'etre).
+  EXPECT_GT(interconnect_bound, 0U);
+}
+
+TEST(GeneratorExtensions, ExtendedCensusHasAllThreeClasses) {
+  WorkloadGenerator generator(scaled_workload_config(150.0, 15));
+  const auto jobs = generator.generate();
+  const ExtendedCharacterizer extended(fugaku_node_spec());
+  std::array<std::size_t, 3> counts{};
+  for (const auto& job : jobs) {
+    const auto label = extended.characterize(job);
+    if (label.has_value()) ++counts[static_cast<std::size_t>(*label)];
+  }
+  EXPECT_GT(counts[0], counts[1]);  // memory majority
+  EXPECT_GT(counts[1], counts[2]);  // interconnect is the smallest class
+  EXPECT_GT(counts[2], 0U);
+}
+
+// ------------------------------------------------------- KnnRegressor
+
+TEST(KnnRegressor, ExactNeighborRecall) {
+  // k = 1: predicting a training point returns its own target.
+  FeatureMatrix x(5, 2);
+  std::vector<double> y{10, 20, 30, 40, 50};
+  for (int i = 0; i < 5; ++i) x.row(i)[0] = static_cast<float>(i * 10);
+  KnnRegressorConfig config;
+  config.k = 1;
+  KnnRegressor regressor(config);
+  regressor.fit(x.view(), y);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(regressor.predict_one(x.view().row(i)), y[i]);
+  }
+}
+
+TEST(KnnRegressor, UniformMeanOfNeighbors) {
+  FeatureMatrix x(3, 1);
+  x.row(0)[0] = 0.0F;
+  x.row(1)[0] = 1.0F;
+  x.row(2)[0] = 100.0F;
+  const std::vector<double> y{10.0, 20.0, 999.0};
+  KnnRegressorConfig config;
+  config.k = 2;
+  KnnRegressor regressor(config);
+  regressor.fit(x.view(), y);
+  FeatureMatrix query(1, 1);
+  query.row(0)[0] = 0.5F;
+  EXPECT_DOUBLE_EQ(regressor.predict(query.view())[0], 15.0);
+}
+
+TEST(KnnRegressor, DistanceWeightingFavorsExactMatch) {
+  FeatureMatrix x(2, 1);
+  x.row(0)[0] = 0.0F;
+  x.row(1)[0] = 1.0F;
+  const std::vector<double> y{100.0, 0.0};
+  KnnRegressorConfig config;
+  config.k = 2;
+  config.distance_weighted = true;
+  KnnRegressor regressor(config);
+  regressor.fit(x.view(), y);
+  FeatureMatrix query(1, 1);
+  query.row(0)[0] = 0.0F;  // exact match with target 100
+  EXPECT_GT(regressor.predict(query.view())[0], 99.0);
+}
+
+TEST(KnnRegressor, LearnsSmoothFunction) {
+  Rng rng(21);
+  FeatureMatrix x(500, 3);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    for (int d = 0; d < 3; ++d) x.row(i)[d] = static_cast<float>(rng.uniform());
+    y[i] = 3.0 * x.view().row(i)[0] + x.view().row(i)[1];
+  }
+  KnnRegressor regressor;
+  regressor.fit(x.view(), y);
+  FeatureMatrix test(100, 3);
+  std::vector<double> truth(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (int d = 0; d < 3; ++d) test.row(i)[d] = static_cast<float>(rng.uniform());
+    truth[i] = 3.0 * test.view().row(i)[0] + test.view().row(i)[1];
+  }
+  const auto predicted = regressor.predict(test.view());
+  const auto metrics = evaluate_regression(truth, predicted);
+  EXPECT_GT(metrics.r2, 0.8);
+  EXPECT_LT(metrics.mae, 0.4);
+}
+
+TEST(KnnRegressor, SaveLoadRoundTrip) {
+  Rng rng(23);
+  FeatureMatrix x(60, 4);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (int d = 0; d < 4; ++d) x.row(i)[d] = static_cast<float>(rng.normal());
+    y[i] = rng.uniform();
+  }
+  KnnRegressor regressor;
+  regressor.fit(x.view(), y);
+  std::stringstream stream;
+  ASSERT_TRUE(regressor.save(stream));
+  KnnRegressor loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.train_size(), 60U);
+  EXPECT_EQ(loaded.predict(x.view()), regressor.predict(x.view()));
+}
+
+TEST(KnnRegressor, ErrorsOnMisuse) {
+  KnnRegressor regressor;
+  FeatureMatrix x(1, 1);
+  EXPECT_THROW(regressor.predict(x.view()), std::logic_error);
+  const std::vector<double> wrong_size{1.0, 2.0};
+  EXPECT_THROW(regressor.fit(x.view(), wrong_size), std::invalid_argument);
+}
+
+TEST(EvaluateRegression, HandComputed) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> perfect = truth;
+  const auto m = evaluate_regression(truth, perfect);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.r2, 1.0);
+
+  const std::vector<double> off{2.0, 3.0, 4.0, 5.0};  // +1 everywhere
+  const auto m2 = evaluate_regression(truth, off);
+  EXPECT_DOUBLE_EQ(m2.mae, 1.0);
+  EXPECT_LT(m2.r2, 1.0);
+  EXPECT_EQ(m2.n, 4U);
+}
+
+TEST(EvaluateRegression, EmptyInput) {
+  const auto m = evaluate_regression({}, {});
+  EXPECT_EQ(m.n, 0U);
+  EXPECT_DOUBLE_EQ(m.r2, 0.0);
+}
+
+}  // namespace
+}  // namespace mcb

@@ -1,0 +1,724 @@
+// Tests for the ml module: metrics, feature binning, decision trees,
+// random forests, KNN, the lookup baseline and model serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "ml/baseline.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/serialize.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcb {
+namespace {
+
+/// Gaussian two-blob dataset: class 0 around -1, class 1 around +1 in the
+/// first `informative` dims; the rest is noise.
+struct Blobs {
+  FeatureMatrix x;
+  std::vector<Label> y;
+};
+
+Blobs make_blobs(std::size_t n, std::size_t dims, std::size_t informative, double spread,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs{FeatureMatrix(n, dims), std::vector<Label>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Label label = static_cast<Label>(rng.bounded(2));
+    blobs.y[i] = label;
+    const double center = label == 0 ? -1.0 : 1.0;
+    float* row = blobs.x.row(i);
+    for (std::size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(d < informative ? rng.normal(center, spread)
+                                                  : rng.normal(0.0, 1.0));
+    }
+  }
+  return blobs;
+}
+
+double accuracy(std::span<const Label> truth, std::span<const Label> pred) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) correct += truth[i] == pred[i];
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(ConfusionMatrix, HandComputedBinaryMetrics) {
+  ConfusionMatrix cm(2);
+  // truth 0: 8 correct, 2 predicted as 1. truth 1: 3 correct, 1 as 0.
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_EQ(cm.total(), 14U);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 11.0 / 14.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 4.0);
+  const double f1_0 = 2.0 * (8.0 / 9.0) * 0.8 / (8.0 / 9.0 + 0.8);
+  const double f1_1 = 2.0 * 0.6 * 0.75 / (0.6 + 0.75);
+  EXPECT_NEAR(cm.f1(0), f1_0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), f1_1, 1e-12);
+  EXPECT_NEAR(cm.f1_macro(), (f1_0 + f1_1) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 5; ++i) cm.add(i % 2, i % 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1_macro(), 1.0);
+}
+
+TEST(ConfusionMatrix, UndefinedClassesScoreZero) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);  // class 1 never appears
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1_macro(), 0.5);  // (1 + 0) / 2
+}
+
+TEST(ConfusionMatrix, IgnoresOutOfRangeLabels) {
+  ConfusionMatrix cm(2);
+  cm.add(-1, 0);
+  cm.add(0, 5);
+  EXPECT_EQ(cm.total(), 0U);
+}
+
+TEST(ConfusionMatrix, MergeAccumulates) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(1, 0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2U);
+  EXPECT_EQ(a.count(1, 0), 1U);
+}
+
+TEST(ConfusionMatrix, AddAllAndSupport) {
+  ConfusionMatrix cm(2);
+  const std::vector<Label> truth{0, 0, 1, 1, 1};
+  const std::vector<Label> pred{0, 1, 1, 1, 0};
+  cm.add_all(truth, pred);
+  EXPECT_EQ(cm.support(0), 2U);
+  EXPECT_EQ(cm.support(1), 3U);
+}
+
+TEST(ConfusionMatrix, RenderContainsClassNames) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string out = cm.render({"memory-bound", "compute-bound"});
+  EXPECT_NE(out.find("memory-bound"), std::string::npos);
+  EXPECT_NE(out.find("f1_macro"), std::string::npos);
+}
+
+// --------------------------------------------------------------- binner
+
+TEST(FeatureBinner, DistinctValuesGetDistinctBins) {
+  FeatureMatrix x(4, 1);
+  x.row(0)[0] = 1.0F;
+  x.row(1)[0] = 2.0F;
+  x.row(2)[0] = 3.0F;
+  x.row(3)[0] = 4.0F;
+  FeatureBinner binner;
+  binner.fit(x.view());
+  EXPECT_EQ(binner.n_bins(0), 4U);
+  EXPECT_LT(binner.bin_value(0, 1.0F), binner.bin_value(0, 2.0F));
+  EXPECT_LT(binner.bin_value(0, 3.0F), binner.bin_value(0, 4.0F));
+}
+
+TEST(FeatureBinner, ConstantFeatureHasSingleBin) {
+  FeatureMatrix x(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x.row(i)[0] = 7.0F;
+    x.row(i)[1] = static_cast<float>(i);
+  }
+  FeatureBinner binner;
+  binner.fit(x.view());
+  EXPECT_EQ(binner.n_bins(0), 1U);
+  EXPECT_EQ(binner.n_bins(1), 5U);
+}
+
+TEST(FeatureBinner, AllColumnsIndependent) {
+  // Regression test: a shrunken scratch buffer from one column must not
+  // leak into the next (this was a real bug — binning collapsed all
+  // columns after the first to one bin).
+  Rng rng(5);
+  FeatureMatrix x(300, 8);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t d = 0; d < 8; ++d) x.row(i)[d] = static_cast<float>(rng.uniform());
+  }
+  FeatureBinner binner;
+  binner.fit(x.view());
+  for (std::size_t d = 0; d < 8; ++d) EXPECT_GT(binner.n_bins(d), 100U) << "col " << d;
+}
+
+TEST(FeatureBinner, RespectsMaxBins) {
+  Rng rng(5);
+  FeatureMatrix x(5000, 1);
+  for (std::size_t i = 0; i < 5000; ++i) x.row(i)[0] = static_cast<float>(rng.uniform());
+  FeatureBinner binner;
+  binner.fit(x.view(), 32);
+  EXPECT_LE(binner.n_bins(0), 32U);
+  EXPECT_GT(binner.n_bins(0), 16U);
+}
+
+TEST(FeatureBinner, TransformColumnMajorLayout) {
+  FeatureMatrix x(3, 2);
+  x.row(0)[0] = 1.0F; x.row(0)[1] = 10.0F;
+  x.row(1)[0] = 2.0F; x.row(1)[1] = 20.0F;
+  x.row(2)[0] = 3.0F; x.row(2)[1] = 30.0F;
+  FeatureBinner binner;
+  binner.fit(x.view());
+  const auto codes = binner.transform_column_major(x.view());
+  ASSERT_EQ(codes.size(), 6U);
+  // Column 0 occupies the first 3 entries.
+  EXPECT_EQ(codes[0], binner.bin_value(0, 1.0F));
+  EXPECT_EQ(codes[3], binner.bin_value(1, 10.0F));
+}
+
+TEST(FeatureBinner, SaveLoadRoundTrip) {
+  Rng rng(9);
+  FeatureMatrix x(200, 3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t d = 0; d < 3; ++d) x.row(i)[d] = static_cast<float>(rng.normal());
+  }
+  FeatureBinner binner;
+  binner.fit(x.view());
+  std::stringstream stream;
+  binner.save(stream);
+  FeatureBinner loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(loaded.n_bins(d), binner.n_bins(d));
+    EXPECT_EQ(loaded.bin_value(d, 0.123F), binner.bin_value(d, 0.123F));
+  }
+}
+
+// ----------------------------------------------------------------- tree
+
+TEST(DecisionTree, LearnsAxisAlignedRule) {
+  const Blobs blobs = make_blobs(500, 5, 1, 0.3, 42);
+  FeatureBinner binner;
+  binner.fit(blobs.x.view());
+  const auto codes = binner.transform_column_major(blobs.x.view());
+  std::vector<std::uint32_t> rows(500);
+  std::iota(rows.begin(), rows.end(), 0U);
+
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(codes.data(), 500, rows, blobs.y, 5, 2, TreeConfig{}, rng);
+  EXPECT_TRUE(tree.is_fitted());
+  EXPECT_GE(tree.depth(), 1U);
+
+  // Predict on the training data (binned row-major).
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    std::uint8_t row_codes[5];
+    for (std::size_t d = 0; d < 5; ++d) {
+      row_codes[d] = binner.bin_value(d, blobs.x.view().row(i)[d]);
+    }
+    correct += tree.predict_binned(row_codes) == blobs.y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / 500.0, 0.95);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  FeatureMatrix x(10, 2);
+  std::vector<Label> y(10, 1);  // all one class
+  Rng data_rng(3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x.row(i)[0] = static_cast<float>(data_rng.uniform());
+    x.row(i)[1] = static_cast<float>(data_rng.uniform());
+  }
+  FeatureBinner binner;
+  binner.fit(x.view());
+  const auto codes = binner.transform_column_major(x.view());
+  std::vector<std::uint32_t> rows(10);
+  std::iota(rows.begin(), rows.end(), 0U);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(codes.data(), 10, rows, y, 2, 2, TreeConfig{}, rng);
+  EXPECT_EQ(tree.node_count(), 1U);
+  EXPECT_EQ(tree.leaf_count(), 1U);
+  EXPECT_EQ(tree.depth(), 0U);
+}
+
+TEST(DecisionTree, MaxDepthIsRespected) {
+  const Blobs blobs = make_blobs(1000, 4, 2, 1.5, 7);
+  FeatureBinner binner;
+  binner.fit(blobs.x.view());
+  const auto codes = binner.transform_column_major(blobs.x.view());
+  std::vector<std::uint32_t> rows(1000);
+  std::iota(rows.begin(), rows.end(), 0U);
+  TreeConfig config;
+  config.max_depth = 3;
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(codes.data(), 1000, rows, blobs.y, 4, 2, config, rng);
+  EXPECT_LE(tree.depth(), 3U);
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  const Blobs blobs = make_blobs(200, 3, 1, 1.0, 11);
+  FeatureBinner binner;
+  binner.fit(blobs.x.view());
+  const auto codes = binner.transform_column_major(blobs.x.view());
+  std::vector<std::uint32_t> rows(200);
+  std::iota(rows.begin(), rows.end(), 0U);
+  TreeConfig config;
+  config.min_samples_leaf = 150;  // forces the root to stay a leaf
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(codes.data(), 200, rows, blobs.y, 3, 2, config, rng);
+  EXPECT_EQ(tree.leaf_count(), 1U);
+}
+
+TEST(DecisionTree, EmptyRowsThrows) {
+  DecisionTree tree;
+  Rng rng(1);
+  const std::uint8_t codes = 0;
+  std::vector<Label> labels;
+  EXPECT_THROW(tree.fit(&codes, 0, {}, labels, 1, 2, TreeConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, SaveLoadPredictsIdentically) {
+  const Blobs blobs = make_blobs(300, 4, 2, 0.5, 21);
+  FeatureBinner binner;
+  binner.fit(blobs.x.view());
+  const auto codes = binner.transform_column_major(blobs.x.view());
+  std::vector<std::uint32_t> rows(300);
+  std::iota(rows.begin(), rows.end(), 0U);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(codes.data(), 300, rows, blobs.y, 4, 2, TreeConfig{}, rng);
+
+  std::stringstream stream;
+  tree.save(stream);
+  DecisionTree loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::uint8_t row_codes[4];
+    for (std::size_t d = 0; d < 4; ++d) {
+      row_codes[d] = binner.bin_value(d, blobs.x.view().row(i)[d]);
+    }
+    EXPECT_EQ(loaded.predict_binned(row_codes), tree.predict_binned(row_codes));
+  }
+}
+
+// ------------------------------------------------------------------ KNN
+
+TEST(Knn, ExactNeighborRecovery) {
+  // k = 1 on well-separated points returns the identical training row.
+  FeatureMatrix x(4, 2);
+  x.row(0)[0] = 0.0F; x.row(0)[1] = 0.0F;
+  x.row(1)[0] = 10.0F; x.row(1)[1] = 0.0F;
+  x.row(2)[0] = 0.0F; x.row(2)[1] = 10.0F;
+  x.row(3)[0] = 10.0F; x.row(3)[1] = 10.0F;
+  const std::vector<Label> y{0, 1, 0, 1};
+  KnnConfig config;
+  config.k = 1;
+  KnnClassifier knn(config);
+  knn.fit(x.view(), y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto neighbors = knn.kneighbors(x.view().row(i));
+    ASSERT_EQ(neighbors.size(), 1U);
+    EXPECT_EQ(neighbors[0], i);
+  }
+}
+
+TEST(Knn, MajorityVote) {
+  // 3 nearby class-1 points vs 2 slightly closer class-0 points, k = 5.
+  FeatureMatrix x(5, 1);
+  x.row(0)[0] = 0.9F;  // class 0
+  x.row(1)[0] = 1.1F;  // class 0
+  x.row(2)[0] = 1.5F;  // class 1
+  x.row(3)[0] = 1.6F;  // class 1
+  x.row(4)[0] = 1.7F;  // class 1
+  const std::vector<Label> y{0, 0, 1, 1, 1};
+  KnnClassifier knn;  // k = 5
+  knn.fit(x.view(), y);
+  FeatureMatrix query(1, 1);
+  query.row(0)[0] = 1.0F;
+  EXPECT_EQ(knn.predict(query.view())[0], 1);  // 3 votes beat 2
+}
+
+TEST(Knn, TieBreaksTowardLowerClass) {
+  FeatureMatrix x(4, 1);
+  for (int i = 0; i < 4; ++i) x.row(i)[0] = static_cast<float>(i);
+  const std::vector<Label> y{0, 1, 0, 1};
+  KnnConfig config;
+  config.k = 4;
+  KnnClassifier knn(config);
+  knn.fit(x.view(), y);
+  FeatureMatrix query(1, 1);
+  query.row(0)[0] = 1.5F;
+  EXPECT_EQ(knn.predict(query.view())[0], 0);
+}
+
+TEST(Knn, KLargerThanTrainingSet) {
+  FeatureMatrix x(2, 1);
+  x.row(0)[0] = 0.0F;
+  x.row(1)[0] = 1.0F;
+  KnnConfig config;
+  config.k = 10;
+  KnnClassifier knn(config);
+  knn.fit(x.view(), {std::vector<Label>{1, 1}});
+  FeatureMatrix query(1, 1);
+  query.row(0)[0] = 0.5F;
+  EXPECT_EQ(knn.predict(query.view())[0], 1);
+}
+
+TEST(Knn, MinkowskiP1MatchesManhattanRanking) {
+  // Point A at (0, 3), B at (2, 2): from origin, L2 ranks A closer
+  // (9 < 8? no: A=9, B=8 -> B closer); L1 ranks A (3) closer than B (4).
+  FeatureMatrix x(2, 2);
+  x.row(0)[0] = 0.0F; x.row(0)[1] = 3.0F;  // A, class 0
+  x.row(1)[0] = 2.0F; x.row(1)[1] = 2.0F;  // B, class 1
+  const std::vector<Label> y{0, 1};
+  FeatureMatrix query(1, 2);  // origin
+
+  KnnConfig l2;
+  l2.k = 1;
+  KnnClassifier knn_l2(l2);
+  knn_l2.fit(x.view(), y);
+  EXPECT_EQ(knn_l2.predict(query.view())[0], 1);
+
+  KnnConfig l1;
+  l1.k = 1;
+  l1.minkowski_p = 1.0;
+  KnnClassifier knn_l1(l1);
+  knn_l1.fit(x.view(), y);
+  EXPECT_EQ(knn_l1.predict(query.view())[0], 0);
+}
+
+TEST(Knn, BlobsGeneralization) {
+  const Blobs train = make_blobs(400, 8, 3, 0.5, 31);
+  const Blobs test = make_blobs(100, 8, 3, 0.5, 32);
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  const auto pred = knn.predict(test.x.view());
+  EXPECT_GT(accuracy(test.y, pred), 0.9);
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  KnnClassifier knn;
+  FeatureMatrix x(1, 1);
+  EXPECT_THROW(knn.predict(x.view()), std::logic_error);
+}
+
+TEST(Knn, DimensionMismatchThrows) {
+  KnnClassifier knn;
+  FeatureMatrix x(2, 3);
+  knn.fit(x.view(), {std::vector<Label>{0, 1}});
+  FeatureMatrix bad(1, 2);
+  EXPECT_THROW(knn.predict(bad.view()), std::invalid_argument);
+}
+
+TEST(Knn, ParallelPredictionMatchesSerial) {
+  const Blobs train = make_blobs(200, 6, 2, 0.8, 41);
+  const Blobs test = make_blobs(64, 6, 2, 0.8, 43);
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  ThreadPool pool(4);
+  EXPECT_EQ(knn.predict(test.x.view(), &pool), knn.predict(test.x.view(), nullptr));
+}
+
+TEST(Knn, SaveLoadRoundTrip) {
+  const Blobs train = make_blobs(150, 4, 2, 0.5, 51);
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  std::stringstream stream;
+  ASSERT_TRUE(knn.save(stream));
+  KnnClassifier loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.train_size(), knn.train_size());
+  EXPECT_EQ(loaded.n_classes(), knn.n_classes());
+  const Blobs test = make_blobs(40, 4, 2, 0.5, 52);
+  EXPECT_EQ(loaded.predict(test.x.view()), knn.predict(test.x.view()));
+}
+
+TEST(Knn, LoadRejectsGarbage) {
+  std::stringstream stream("not a model");
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.load(stream));
+}
+
+// ------------------------------------------------------------ forest
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  const Blobs train = make_blobs(800, 12, 3, 1.2, 61);
+  const Blobs test = make_blobs(400, 12, 3, 1.2, 62);
+
+  RandomForestConfig single_config;
+  single_config.n_trees = 1;
+  RandomForestClassifier single(single_config);
+  single.fit(train.x.view(), train.y);
+
+  RandomForestConfig forest_config;
+  forest_config.n_trees = 60;
+  RandomForestClassifier forest(forest_config);
+  forest.fit(train.x.view(), train.y);
+
+  const double single_acc = accuracy(test.y, single.predict(test.x.view()));
+  const double forest_acc = accuracy(test.y, forest.predict(test.x.view()));
+  EXPECT_GE(forest_acc, single_acc);
+  EXPECT_GT(forest_acc, 0.8);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const Blobs train = make_blobs(300, 6, 2, 0.8, 71);
+  const Blobs test = make_blobs(50, 6, 2, 0.8, 72);
+  RandomForestConfig config;
+  config.n_trees = 20;
+  config.seed = 99;
+  RandomForestClassifier a(config), b(config);
+  a.fit(train.x.view(), train.y);
+  b.fit(train.x.view(), train.y);
+  EXPECT_EQ(a.predict(test.x.view()), b.predict(test.x.view()));
+}
+
+TEST(RandomForest, DifferentSeedsDifferentForests) {
+  const Blobs train = make_blobs(300, 6, 2, 1.5, 73);
+  RandomForestConfig a_config, b_config;
+  a_config.n_trees = b_config.n_trees = 5;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  RandomForestClassifier a(a_config), b(b_config);
+  a.fit(train.x.view(), train.y);
+  b.fit(train.x.view(), train.y);
+  // Probabilities should differ on at least some test points.
+  const Blobs test = make_blobs(50, 6, 2, 1.5, 74);
+  EXPECT_NE(a.predict_proba(test.x.view()), b.predict_proba(test.x.view()));
+}
+
+TEST(RandomForest, ProbabilitiesSumToOne) {
+  const Blobs train = make_blobs(200, 4, 2, 0.5, 81);
+  RandomForestConfig config;
+  config.n_trees = 10;
+  RandomForestClassifier forest(config);
+  forest.fit(train.x.view(), train.y);
+  const auto probs = forest.predict_proba(train.x.view());
+  for (std::size_t i = 0; i < train.x.rows(); ++i) {
+    const double sum = probs[i * 2] + probs[i * 2 + 1];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForest, ParallelTrainingMatchesSerial) {
+  const Blobs train = make_blobs(300, 6, 2, 0.8, 91);
+  const Blobs test = make_blobs(60, 6, 2, 0.8, 92);
+  RandomForestConfig config;
+  config.n_trees = 12;
+  RandomForestClassifier serial(config), parallel(config);
+  serial.fit(train.x.view(), train.y);
+  ThreadPool pool(4);
+  parallel.set_training_pool(&pool);
+  parallel.fit(train.x.view(), train.y);
+  EXPECT_EQ(serial.predict(test.x.view()), parallel.predict(test.x.view()));
+}
+
+TEST(RandomForest, MulticlassSupport) {
+  Rng rng(13);
+  FeatureMatrix x(300, 2);
+  std::vector<Label> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const Label label = static_cast<Label>(rng.bounded(3));
+    y[i] = label;
+    x.row(i)[0] = static_cast<float>(rng.normal(label * 5.0, 0.5));
+    x.row(i)[1] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  RandomForestConfig config;
+  config.n_trees = 15;
+  RandomForestClassifier forest(config);
+  forest.fit(x.view(), y);
+  EXPECT_EQ(forest.n_classes(), 3U);
+  EXPECT_GT(accuracy(y, forest.predict(x.view())), 0.95);
+}
+
+TEST(RandomForest, SaveLoadRoundTrip) {
+  const Blobs train = make_blobs(250, 5, 2, 0.7, 101);
+  RandomForestConfig config;
+  config.n_trees = 8;
+  RandomForestClassifier forest(config);
+  forest.fit(train.x.view(), train.y);
+  std::stringstream stream;
+  ASSERT_TRUE(forest.save(stream));
+  RandomForestClassifier loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.tree_count(), 8U);
+  const Blobs test = make_blobs(60, 5, 2, 0.7, 102);
+  EXPECT_EQ(loaded.predict(test.x.view()), forest.predict(test.x.view()));
+}
+
+TEST(RandomForest, LoadRejectsWrongKind) {
+  const Blobs train = make_blobs(50, 3, 1, 0.5, 111);
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  std::stringstream stream;
+  knn.save(stream);
+  RandomForestClassifier forest;
+  EXPECT_FALSE(forest.load(stream));
+}
+
+TEST(ModelFiles, TruncatedStreamsFailCleanly) {
+  // Failure injection: every strict prefix of a serialized model must be
+  // rejected by load() without crashing or partially initializing.
+  const Blobs train = make_blobs(80, 4, 2, 0.5, 121);
+  RandomForestConfig config;
+  config.n_trees = 3;
+  RandomForestClassifier forest(config);
+  forest.fit(train.x.view(), train.y);
+  std::stringstream full;
+  ASSERT_TRUE(forest.save(full));
+  const std::string bytes = full.str();
+  for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+    std::stringstream cut(bytes.substr(0, static_cast<std::size_t>(
+                                              frac * static_cast<double>(bytes.size()))));
+    RandomForestClassifier loaded;
+    EXPECT_FALSE(loaded.load(cut)) << "fraction " << frac;
+  }
+
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  std::stringstream knn_full;
+  ASSERT_TRUE(knn.save(knn_full));
+  const std::string knn_bytes = knn_full.str();
+  std::stringstream knn_cut(knn_bytes.substr(0, knn_bytes.size() / 2));
+  KnnClassifier knn_loaded;
+  EXPECT_FALSE(knn_loaded.load(knn_cut));
+}
+
+TEST(ModelFiles, BitFlippedMagicRejected) {
+  const Blobs train = make_blobs(40, 3, 1, 0.5, 131);
+  KnnClassifier knn;
+  knn.fit(train.x.view(), train.y);
+  std::stringstream out;
+  knn.save(out);
+  std::string bytes = out.str();
+  bytes[0] = static_cast<char>(bytes[0] ^ 0xFF);  // corrupt the magic
+  std::stringstream in(bytes);
+  KnnClassifier loaded;
+  EXPECT_FALSE(loaded.load(in));
+}
+
+TEST(RandomForest, EmptyTrainingThrows) {
+  RandomForestClassifier forest;
+  FeatureMatrix x(0, 3);
+  EXPECT_THROW(forest.fit(x.view(), {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(LookupBaseline, ExactKeyLookup) {
+  LookupBaseline baseline;
+  const std::vector<LookupBaseline::Key> keys{{"wrf", 48}, {"gemm", 96}, {"wrf", 48}};
+  const std::vector<Label> labels{0, 1, 0};
+  baseline.fit(keys, labels);
+  EXPECT_EQ(baseline.table_size(), 2U);
+  EXPECT_EQ(baseline.predict_one({"wrf", 48}), 0);
+  EXPECT_EQ(baseline.predict_one({"gemm", 96}), 1);
+}
+
+TEST(LookupBaseline, CoresDisambiguateSameName) {
+  LookupBaseline baseline;
+  const std::vector<LookupBaseline::Key> keys{{"app", 48}, {"app", 96}};
+  const std::vector<Label> labels{0, 1};
+  baseline.fit(keys, labels);
+  EXPECT_EQ(baseline.predict_one({"app", 48}), 0);
+  EXPECT_EQ(baseline.predict_one({"app", 96}), 1);
+}
+
+TEST(LookupBaseline, MajorityWithinKey) {
+  LookupBaseline baseline;
+  std::vector<LookupBaseline::Key> keys;
+  std::vector<Label> labels;
+  for (int i = 0; i < 5; ++i) {
+    keys.push_back({"mixed", 48});
+    labels.push_back(i < 3 ? 1 : 0);
+  }
+  baseline.fit(keys, labels);
+  EXPECT_EQ(baseline.predict_one({"mixed", 48}), 1);
+}
+
+TEST(LookupBaseline, UnseenKeyFallsBackToGlobalMajority) {
+  LookupBaseline baseline;
+  const std::vector<LookupBaseline::Key> keys{{"a", 1}, {"b", 1}, {"c", 1}};
+  const std::vector<Label> labels{0, 0, 1};
+  baseline.fit(keys, labels);
+  EXPECT_EQ(baseline.predict_one({"unseen", 99}), 0);
+  const std::vector<LookupBaseline::Key> queries{{"a", 1}, {"zzz", 7}};
+  baseline.predict(queries);
+  EXPECT_DOUBLE_EQ(baseline.last_fallback_rate(), 0.5);
+}
+
+TEST(LookupBaseline, SaveLoadRoundTrip) {
+  LookupBaseline baseline;
+  const std::vector<LookupBaseline::Key> keys{{"x", 1}, {"y", 2}};
+  const std::vector<Label> labels{1, 0};
+  baseline.fit(keys, labels);
+  std::stringstream stream;
+  ASSERT_TRUE(baseline.save(stream));
+  LookupBaseline loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.table_size(), 2U);
+  EXPECT_EQ(loaded.predict_one({"x", 1}), 1);
+  EXPECT_EQ(loaded.predict_one({"y", 2}), 0);
+}
+
+TEST(LookupBaseline, RejectsOutOfRangeLabels) {
+  LookupBaseline baseline(2);
+  const std::vector<LookupBaseline::Key> keys{{"a", 1}};
+  EXPECT_THROW(baseline.fit(keys, {std::vector<Label>{5}}), std::invalid_argument);
+}
+
+// -------------------------------------------- property tests (TEST_P)
+
+struct ForestParams {
+  std::size_t trees;
+  std::size_t max_bins;
+};
+
+class ForestProperty : public ::testing::TestWithParam<ForestParams> {};
+
+TEST_P(ForestProperty, TrainAccuracyIsHighOnSeparableData) {
+  const auto [trees, max_bins] = GetParam();
+  const Blobs train = make_blobs(400, 6, 2, 0.3, trees * 1000 + max_bins);
+  RandomForestConfig config;
+  config.n_trees = trees;
+  config.max_bins = max_bins;
+  RandomForestClassifier forest(config);
+  forest.fit(train.x.view(), train.y);
+  EXPECT_GT(accuracy(train.y, forest.predict(train.x.view())), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ForestProperty,
+                         ::testing::Values(ForestParams{5, 16}, ForestParams{5, 256},
+                                           ForestParams{40, 16}, ForestParams{40, 256},
+                                           ForestParams{1, 64}));
+
+class KnnKProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnnKProperty, SeparableBlobsStayAccurate) {
+  const Blobs train = make_blobs(300, 5, 2, 0.3, 7);
+  const Blobs test = make_blobs(100, 5, 2, 0.3, 8);
+  KnnConfig config;
+  config.k = GetParam();
+  KnnClassifier knn(config);
+  knn.fit(train.x.view(), train.y);
+  EXPECT_GT(accuracy(test.y, knn.predict(test.x.view())), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKProperty, ::testing::Values(1, 3, 5, 9, 15));
+
+}  // namespace
+}  // namespace mcb

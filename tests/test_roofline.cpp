@@ -1,0 +1,299 @@
+// Tests for the roofline module: the machine spec / ridge point, the
+// counter conversions of Eq. 4-5, the per-job metrics of Eq. 1-3, label
+// generation and the workload-level analysis. Includes parameterized
+// property tests over random counter values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "roofline/analysis.hpp"
+#include "roofline/characterizer.hpp"
+#include "roofline/machine_spec.hpp"
+#include "util/rng.hpp"
+
+namespace mcb {
+namespace {
+
+JobRecord executed_job(double perf2, double perf3, double perf4, double perf5,
+                       std::int64_t duration = 1000, std::uint32_t nodes = 1) {
+  JobRecord job;
+  job.job_id = 1;
+  job.job_name = "test";
+  job.start_time = 0;
+  job.end_time = duration;
+  job.nodes_allocated = nodes;
+  job.perf2 = perf2;
+  job.perf3 = perf3;
+  job.perf4 = perf4;
+  job.perf5 = perf5;
+  return job;
+}
+
+// ----------------------------------------------------------- MachineSpec
+
+TEST(MachineSpec, FugakuRidgePoint) {
+  const MachineSpec spec = fugaku_node_spec();
+  EXPECT_DOUBLE_EQ(spec.peak_gflops, 3380.0);
+  EXPECT_DOUBLE_EQ(spec.peak_bandwidth_gbs, 1024.0);
+  // Paper §IV-B: ridge point ~3.3 Flops/Byte.
+  EXPECT_NEAR(spec.ridge_point(), 3.3, 0.05);
+}
+
+TEST(MachineSpec, AttainableFollowsRoofline) {
+  const MachineSpec spec = fugaku_node_spec();
+  // Below the ridge: bandwidth-bound.
+  EXPECT_DOUBLE_EQ(spec.attainable_gflops(1.0), 1024.0);
+  // Above the ridge: compute-bound at peak.
+  EXPECT_DOUBLE_EQ(spec.attainable_gflops(100.0), 3380.0);
+  // At the ridge, both bounds coincide.
+  EXPECT_NEAR(spec.attainable_gflops(spec.ridge_point()), 3380.0, 1e-9);
+}
+
+TEST(MachineSpec, DegenerateBandwidth) {
+  MachineSpec spec;
+  spec.peak_gflops = 100.0;
+  spec.peak_bandwidth_gbs = 0.0;
+  EXPECT_DOUBLE_EQ(spec.ridge_point(), 0.0);
+}
+
+// --------------------------------------------------- counter conversions
+
+TEST(CounterConversion, Equation4Flops) {
+  // #flops = perf2 + perf3 * 4 (512-bit SVE = 4 x 128-bit slices).
+  const JobRecord job = executed_job(1e9, 2e9, 0, 0);
+  EXPECT_DOUBLE_EQ(flops_from_counters(job), 1e9 + 4 * 2e9);
+}
+
+TEST(CounterConversion, Equation5MovedBytes) {
+  // #moved_bytes = (perf4 + perf5) * 256 / 12.
+  const JobRecord job = executed_job(0, 0, 6e9, 6e9);
+  EXPECT_DOUBLE_EQ(moved_bytes_from_counters(job), 12e9 * 256.0 / 12.0);
+}
+
+TEST(CounterConversion, CustomCounterModel) {
+  CounterModel model;
+  model.sve_width_factor = 2.0;
+  model.cache_line_bytes = 64.0;
+  model.cmg_core_count = 4.0;
+  const JobRecord job = executed_job(1e6, 1e6, 4e6, 0);
+  EXPECT_DOUBLE_EQ(flops_from_counters(job, model), 3e6);
+  EXPECT_DOUBLE_EQ(moved_bytes_from_counters(job, model), 4e6 * 64.0 / 4.0);
+}
+
+// ---------------------------------------------------------- JobMetrics
+
+TEST(Characterizer, Equations1To3) {
+  const Characterizer ch(fugaku_node_spec());
+  // 1000 s on 2 nodes; flops = 2e9 + 4*0 = 2e9; bytes = (12e9)*256/12 = 2.56e11.
+  const JobRecord job = executed_job(2e12, 0, 6e9, 6e9, 1000, 2);
+  const auto metrics = ch.compute_metrics(job);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_DOUBLE_EQ(metrics->flops, 2e12);
+  EXPECT_DOUBLE_EQ(metrics->moved_bytes, 2.56e11);
+  // p = flops / (duration * nodes) / 1e9 GFlop/s
+  EXPECT_DOUBLE_EQ(metrics->performance_gflops, 2e12 / 2000.0 / 1e9);
+  EXPECT_DOUBLE_EQ(metrics->bandwidth_gbs, 2.56e11 / 2000.0 / 1e9);
+  EXPECT_NEAR(metrics->operational_intensity, 2e12 / 2.56e11, 1e-12);
+}
+
+TEST(Characterizer, ZeroDurationUncharacterizable) {
+  const Characterizer ch(fugaku_node_spec());
+  EXPECT_FALSE(ch.compute_metrics(executed_job(1, 1, 1, 1, 0)).has_value());
+  EXPECT_FALSE(ch.characterize(executed_job(1, 1, 1, 1, -5)).has_value());
+}
+
+TEST(Characterizer, ZeroNodesUncharacterizable) {
+  const Characterizer ch(fugaku_node_spec());
+  JobRecord job = executed_job(1, 1, 1, 1);
+  job.nodes_allocated = 0;
+  EXPECT_FALSE(ch.compute_metrics(job).has_value());
+}
+
+TEST(Characterizer, NegativeCountersRejected) {
+  const Characterizer ch(fugaku_node_spec());
+  EXPECT_FALSE(ch.compute_metrics(executed_job(-1, 0, 1, 1)).has_value());
+}
+
+TEST(Characterizer, ZeroMemoryTrafficIsComputeBound) {
+  const Characterizer ch(fugaku_node_spec());
+  const auto metrics = ch.compute_metrics(executed_job(1e12, 0, 0, 0));
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_TRUE(std::isinf(metrics->operational_intensity));
+  EXPECT_EQ(*ch.characterize(executed_job(1e12, 0, 0, 0)), Boundedness::kComputeBound);
+}
+
+TEST(Characterizer, ZeroFlopsIsMemoryBound) {
+  const Characterizer ch(fugaku_node_spec());
+  EXPECT_EQ(*ch.characterize(executed_job(0, 0, 1e9, 1e9)), Boundedness::kMemoryBound);
+}
+
+TEST(Characterizer, LabelBoundary) {
+  const Characterizer ch(fugaku_node_spec());
+  const double ridge = ch.ridge_point();
+  // op exactly at the ridge is memory-bound ("compute-bound if GREATER").
+  EXPECT_EQ(ch.classify_intensity(ridge), Boundedness::kMemoryBound);
+  EXPECT_EQ(ch.classify_intensity(ridge * 1.0001), Boundedness::kComputeBound);
+  EXPECT_EQ(ch.classify_intensity(ridge * 0.9999), Boundedness::kMemoryBound);
+}
+
+TEST(Characterizer, GenerateLabelsBatchWithSkips) {
+  const Characterizer ch(fugaku_node_spec());
+  std::vector<JobRecord> jobs{
+      executed_job(1e15, 0, 1e6, 1e6),    // clearly compute-bound
+      executed_job(1e6, 0, 1e12, 1e12),   // clearly memory-bound
+      executed_job(1, 1, 1, 1, 0),        // uncharacterizable (zero duration)
+  };
+  std::size_t skipped = 0;
+  const auto labels = ch.generate_labels(jobs, &skipped);
+  ASSERT_EQ(labels.size(), 3U);
+  EXPECT_EQ(labels[0], Boundedness::kComputeBound);
+  EXPECT_EQ(labels[1], Boundedness::kMemoryBound);
+  EXPECT_EQ(labels[2], Boundedness::kMemoryBound);  // fallback
+  EXPECT_EQ(skipped, 1U);
+}
+
+TEST(Boundedness, ParseAndName) {
+  EXPECT_EQ(*parse_boundedness("memory-bound"), Boundedness::kMemoryBound);
+  EXPECT_EQ(*parse_boundedness("compute"), Boundedness::kComputeBound);
+  EXPECT_FALSE(parse_boundedness("gpu-bound").has_value());
+  EXPECT_STREQ(boundedness_name(Boundedness::kMemoryBound), "memory-bound");
+  EXPECT_STREQ(boundedness_name(Boundedness::kComputeBound), "compute-bound");
+}
+
+// ------------------------------------------- property tests (TEST_P)
+
+class CharacterizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CharacterizerProperty, MetricsAreConsistent) {
+  Rng rng(GetParam());
+  const Characterizer ch(fugaku_node_spec());
+  for (int i = 0; i < 200; ++i) {
+    const JobRecord job = executed_job(
+        rng.uniform(0, 1e15), rng.uniform(0, 1e15), rng.uniform(1, 1e13),
+        rng.uniform(1, 1e13), static_cast<std::int64_t>(rng.range(1, 100'000)),
+        static_cast<std::uint32_t>(rng.range(1, 1024)));
+    const auto metrics = ch.compute_metrics(job);
+    ASSERT_TRUE(metrics.has_value());
+    // Invariant: op == p / mb.
+    EXPECT_NEAR(metrics->operational_intensity,
+                metrics->performance_gflops / metrics->bandwidth_gbs, 1e-9);
+    // Invariant: label agrees with intensity vs ridge.
+    const auto label = ch.characterize(job);
+    ASSERT_TRUE(label.has_value());
+    EXPECT_EQ(*label == Boundedness::kComputeBound,
+              metrics->operational_intensity > ch.ridge_point());
+    // Non-negative physical quantities.
+    EXPECT_GE(metrics->performance_gflops, 0.0);
+    EXPECT_GE(metrics->bandwidth_gbs, 0.0);
+  }
+}
+
+TEST_P(CharacterizerProperty, PerformanceScalesInverselyWithNodes) {
+  Rng rng(GetParam() + 1000);
+  const Characterizer ch(fugaku_node_spec());
+  for (int i = 0; i < 50; ++i) {
+    JobRecord job = executed_job(rng.uniform(1e9, 1e14), rng.uniform(1e9, 1e14),
+                                 rng.uniform(1e6, 1e12), rng.uniform(1e6, 1e12), 500, 1);
+    const auto one_node = ch.compute_metrics(job);
+    job.nodes_allocated = 4;
+    const auto four_nodes = ch.compute_metrics(job);
+    ASSERT_TRUE(one_node.has_value() && four_nodes.has_value());
+    EXPECT_NEAR(one_node->performance_gflops, 4.0 * four_nodes->performance_gflops, 1e-6);
+    // Intensity is node-count invariant.
+    EXPECT_NEAR(one_node->operational_intensity, four_nodes->operational_intensity, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CharacterizerProperty,
+                         ::testing::Values(1, 7, 42, 1905, 520));
+
+// -------------------------------------------------------------- analysis
+
+TEST(Analysis, BreakdownCountsAndRatios) {
+  const Characterizer ch(fugaku_node_spec());
+  std::vector<JobRecord> jobs;
+  // 6 memory-bound at normal, 2 memory-bound at boost, 1 compute at each.
+  for (int i = 0; i < 8; ++i) {
+    JobRecord job = executed_job(1e6, 0, 1e12, 1e12);
+    job.frequency = i < 6 ? FrequencyMode::kNormal : FrequencyMode::kBoost;
+    jobs.push_back(job);
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobRecord job = executed_job(1e15, 0, 1e6, 1e6);
+    job.frequency = i == 0 ? FrequencyMode::kNormal : FrequencyMode::kBoost;
+    jobs.push_back(job);
+  }
+  const auto analysis = analyze_jobs(ch, jobs);
+  EXPECT_EQ(analysis.breakdown.total(), 10U);
+  EXPECT_EQ(analysis.breakdown.by_label(Boundedness::kMemoryBound), 8U);
+  EXPECT_EQ(analysis.breakdown.by_label(Boundedness::kComputeBound), 2U);
+  EXPECT_EQ(analysis.breakdown.at(FrequencyMode::kNormal, Boundedness::kMemoryBound), 6U);
+  EXPECT_DOUBLE_EQ(analysis.breakdown.memory_to_compute_ratio(), 4.0);
+  EXPECT_DOUBLE_EQ(analysis.breakdown.memory_bound_normal_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(analysis.breakdown.compute_bound_boost_fraction(), 0.5);
+}
+
+TEST(Analysis, SkipsUncharacterizable) {
+  const Characterizer ch(fugaku_node_spec());
+  std::vector<JobRecord> jobs{executed_job(1, 1, 1, 1, 0)};
+  const auto analysis = analyze_jobs(ch, jobs);
+  EXPECT_EQ(analysis.skipped, 1U);
+  EXPECT_TRUE(analysis.jobs.empty());
+}
+
+TEST(Analysis, EmptyBreakdownRatiosAreZero) {
+  JobTypeBreakdown empty;
+  EXPECT_DOUBLE_EQ(empty.memory_to_compute_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.memory_bound_normal_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.compute_bound_boost_fraction(), 0.0);
+}
+
+TEST(Analysis, RooflineGridFiltersByFrequency) {
+  const Characterizer ch(fugaku_node_spec());
+  std::vector<JobRecord> jobs;
+  for (int i = 0; i < 4; ++i) {
+    JobRecord job = executed_job(1e12, 0, 1e10, 1e10);
+    job.frequency = i % 2 == 0 ? FrequencyMode::kNormal : FrequencyMode::kBoost;
+    jobs.push_back(job);
+  }
+  const auto analysis = analyze_jobs(ch, jobs);
+  EXPECT_EQ(roofline_grid(analysis).total(), 4U);
+  const FrequencyMode boost = FrequencyMode::kBoost;
+  EXPECT_EQ(roofline_grid(analysis, 50, 10, &boost).total(), 2U);
+}
+
+TEST(Analysis, DailyTypeCounts) {
+  const Characterizer ch(fugaku_node_spec());
+  const TimePoint start = timepoint_from_ymd(2024, 1, 1);
+  std::vector<JobRecord> jobs;
+  for (int day = 0; day < 3; ++day) {
+    JobRecord mem = executed_job(1e6, 0, 1e12, 1e12);
+    mem.submit_time = start + day * kSecondsPerDay + 100;
+    jobs.push_back(mem);
+  }
+  JobRecord comp = executed_job(1e15, 0, 1e6, 1e6);
+  comp.submit_time = start + 1 * kSecondsPerDay + 100;
+  jobs.push_back(comp);
+
+  const auto analysis = analyze_jobs(ch, jobs);
+  const auto daily = daily_type_counts(analysis, start, start + 3 * kSecondsPerDay);
+  ASSERT_EQ(daily.memory_bound.size(), 3U);
+  EXPECT_EQ(daily.memory_bound[0], 1U);
+  EXPECT_EQ(daily.compute_bound[1], 1U);
+  EXPECT_EQ(daily.compute_bound[0], 0U);
+}
+
+TEST(Analysis, NearRooflineFraction) {
+  const Characterizer ch(fugaku_node_spec());
+  // Job at ~100% of bandwidth roof: op = 1, p = 1024 GF/s per node.
+  // flops/s/node = 1024e9, bytes/s/node = 1024e9.
+  JobRecord near = executed_job(1024e9 * 100, 0, 1024e9 * 100 * 12 / 256, 0, 100, 1);
+  // Job far below the roof.
+  JobRecord far = executed_job(1e9, 0, 1e12, 1e12, 100, 1);
+  const auto analysis = analyze_jobs(ch, std::vector<JobRecord>{near, far});
+  EXPECT_NEAR(analysis.fraction_near_roofline(ch, 0.5), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcb

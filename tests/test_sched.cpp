@@ -1,0 +1,290 @@
+// Tests for the dispatching simulator (src/sched): event-engine
+// invariants, the frequency-advisor physics and the co-scheduling
+// policy, plus make_dispatch_jobs normalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace mcb {
+namespace {
+
+DispatchJob simple_job(std::uint64_t id, TimePoint submit, std::uint32_t nodes,
+                       double duration, Boundedness truth,
+                       Boundedness predicted, FrequencyMode freq = FrequencyMode::kNormal,
+                       double power = 1000.0) {
+  DispatchJob job;
+  job.job_id = id;
+  job.submit_time = submit;
+  job.nodes = nodes;
+  job.base_duration_s = duration;
+  job.base_power_w = power;
+  job.truth = truth;
+  job.predicted = predicted;
+  job.user_frequency = freq;
+  return job;
+}
+
+DispatchConfig exclusive_config(std::uint32_t nodes) {
+  DispatchConfig config;
+  config.total_nodes = nodes;
+  return config;
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(Dispatch, EmptyInput) {
+  const auto result = simulate_dispatch({}, exclusive_config(10));
+  EXPECT_EQ(result.jobs_completed, 0U);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 0.0);
+}
+
+TEST(Dispatch, SingleJobRunsImmediately) {
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 100, 4, 600.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, exclusive_config(10));
+  EXPECT_EQ(result.jobs_completed, 1U);
+  EXPECT_DOUBLE_EQ(result.mean_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 600.0);
+  EXPECT_NEAR(result.total_energy_gj, 1000.0 * 600.0 / 1e9, 1e-12);
+  EXPECT_NEAR(result.node_seconds_busy, 4 * 600.0, 1e-6);
+}
+
+TEST(Dispatch, FcfsQueueingWhenFull) {
+  // Two 8-node jobs on a 10-node cluster: second waits for the first.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 0, 8, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, exclusive_config(10));
+  EXPECT_EQ(result.jobs_completed, 2U);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 200.0);
+  EXPECT_DOUBLE_EQ(result.mean_wait_s, 50.0);  // 0 and 100
+}
+
+TEST(Dispatch, ParallelWhenCapacityAllows) {
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 4, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 0, 4, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, exclusive_config(10));
+  EXPECT_DOUBLE_EQ(result.makespan_s, 100.0);
+  EXPECT_DOUBLE_EQ(result.mean_wait_s, 0.0);
+}
+
+TEST(Dispatch, OversizedJobTruncatedToCluster) {
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 100, 50.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, exclusive_config(10));
+  EXPECT_EQ(result.jobs_completed, 1U);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 50.0);
+}
+
+TEST(Dispatch, NoFrequencyOverridesWithoutAdvisor) {
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 1, 100.0, Boundedness::kComputeBound, Boundedness::kComputeBound,
+                 FrequencyMode::kNormal)};
+  const auto result = simulate_dispatch(jobs, exclusive_config(4));
+  EXPECT_EQ(result.frequency_overrides, 0U);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 100.0);  // user freq honored: no speedup
+}
+
+// ------------------------------------------------------------ advisor
+
+TEST(Dispatch, AdvisorBoostsTrueComputeBound) {
+  DispatchConfig config = exclusive_config(4);
+  config.frequency_advisor = true;
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 1, 100.0, Boundedness::kComputeBound, Boundedness::kComputeBound,
+                 FrequencyMode::kNormal)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.frequency_overrides, 1U);
+  EXPECT_NEAR(result.makespan_s, 90.0, 1e-9);  // 10% faster at boost
+}
+
+TEST(Dispatch, AdvisorMovesMemoryBoundToNormalSavingPower) {
+  DispatchConfig config = exclusive_config(4);
+  config.frequency_advisor = true;
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 1, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound,
+                 FrequencyMode::kBoost, 1000.0)};
+  const auto no_advisor = simulate_dispatch(jobs, exclusive_config(4));
+  const auto with_advisor = simulate_dispatch(jobs, config);
+  // Same duration (memory-bound gains nothing from clock), less energy.
+  EXPECT_DOUBLE_EQ(with_advisor.makespan_s, no_advisor.makespan_s);
+  EXPECT_LT(with_advisor.total_energy_gj, no_advisor.total_energy_gj);
+  EXPECT_EQ(with_advisor.frequency_overrides, 1U);
+}
+
+TEST(Dispatch, MispredictedMemoryJobBurnsBoostPowerForNothing) {
+  DispatchConfig config = exclusive_config(4);
+  config.frequency_advisor = true;
+  // Truly memory-bound, predicted compute-bound -> advisor picks boost.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 1, 100.0, Boundedness::kMemoryBound, Boundedness::kComputeBound,
+                 FrequencyMode::kNormal, 1000.0)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_NEAR(result.makespan_s, 100.0, 1e-9);  // no speedup
+  EXPECT_GT(result.total_energy_gj, 1000.0 * 100.0 / 1e9);  // boost power paid
+}
+
+// -------------------------------------------------------- co-schedule
+
+TEST(Dispatch, CoSchedulesComplementaryPairWhenBlocked) {
+  DispatchConfig config = exclusive_config(8);
+  config.co_schedule = true;
+  // Job 1 fills the cluster; job 2 (complementary) co-locates instead of
+  // waiting for it.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 1000.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 10, 4, 500.0, Boundedness::kComputeBound, Boundedness::kComputeBound)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.co_scheduled_jobs, 1U);
+  EXPECT_EQ(result.conflict_pairs, 0U);
+  // Partner starts at its arrival, inflated by the compute-share factor.
+  EXPECT_NEAR(result.makespan_s, 1000.0, 1e-6);
+  const auto exclusive = simulate_dispatch(jobs, exclusive_config(8));
+  EXPECT_LT(result.mean_wait_s, exclusive.mean_wait_s);
+}
+
+TEST(Dispatch, NoCoScheduleOfSamePredictedType) {
+  DispatchConfig config = exclusive_config(8);
+  config.co_schedule = true;
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 1000.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 10, 4, 500.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.co_scheduled_jobs, 0U);
+  EXPECT_NEAR(result.makespan_s, 1500.0, 1e-6);  // strictly sequential
+}
+
+TEST(Dispatch, MispredictionCreatesConflictPairWithHeavySlowdown) {
+  DispatchConfig config = exclusive_config(8);
+  config.co_schedule = true;
+  // Partner predicted compute (so it co-schedules) but truly memory:
+  // same-type pair -> conflict slowdown applies.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 1000.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 10, 4, 500.0, Boundedness::kMemoryBound, Boundedness::kComputeBound)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.co_scheduled_jobs, 1U);
+  EXPECT_EQ(result.conflict_pairs, 1U);
+}
+
+TEST(Dispatch, FitInTimeGuardRejectsLongPartners) {
+  DispatchConfig config = exclusive_config(8);
+  config.co_schedule = true;
+  // Partner would outlive the host by far -> must queue instead.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 10, 4, 5000.0, Boundedness::kComputeBound,
+                 Boundedness::kComputeBound)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.co_scheduled_jobs, 0U);
+}
+
+TEST(Dispatch, NodesReleasedAfterBothPartnersFinish) {
+  DispatchConfig config = exclusive_config(8);
+  config.co_schedule = true;
+  // Host (8 nodes, 1000 s), partner co-located (ends ~585 s), and a third
+  // exclusive job that must wait for the full allocation to clear.
+  const std::vector<DispatchJob> jobs{
+      simple_job(1, 0, 8, 1000.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound),
+      simple_job(2, 10, 4, 500.0, Boundedness::kComputeBound, Boundedness::kComputeBound),
+      simple_job(3, 20, 8, 100.0, Boundedness::kMemoryBound, Boundedness::kMemoryBound)};
+  const auto result = simulate_dispatch(jobs, config);
+  EXPECT_EQ(result.jobs_completed, 3U);
+  EXPECT_NEAR(result.makespan_s, 1100.0, 1e-6);  // job 3 starts at 1000
+}
+
+// -------------------------------------------------- make_dispatch_jobs
+
+TEST(MakeDispatchJobs, NormalizesBoostDurationsAndPower) {
+  const Characterizer ch(fugaku_node_spec());
+  JobRecord compute_boost;
+  compute_boost.job_id = 1;
+  compute_boost.job_name = "x";
+  compute_boost.nodes_allocated = 2;
+  compute_boost.frequency = FrequencyMode::kBoost;
+  compute_boost.submit_time = 100;
+  compute_boost.start_time = 200;
+  compute_boost.end_time = 200 + 900;  // 900 s at boost
+  compute_boost.perf2 = 1e16;          // clearly compute-bound
+  compute_boost.perf4 = compute_boost.perf5 = 1e6;
+  compute_boost.avg_power_watts = 2353.0;
+
+  const std::vector<JobRecord> records{compute_boost};
+  const std::vector<Boundedness> predicted{Boundedness::kComputeBound};
+  const auto jobs = make_dispatch_jobs(records, predicted, ch);
+  ASSERT_EQ(jobs.size(), 1U);
+  // 900 s at boost -> 1000 s at normal.
+  EXPECT_NEAR(jobs[0].base_duration_s, 1000.0, 1e-6);
+  // Power normalized back to normal mode (divided by 1.1765).
+  EXPECT_NEAR(jobs[0].base_power_w, 2353.0 / (1.0 + 0.1765), 1e-6);
+  EXPECT_EQ(jobs[0].truth, Boundedness::kComputeBound);
+}
+
+TEST(MakeDispatchJobs, SkipsUncharacterizableAndSortsBySubmit) {
+  const Characterizer ch(fugaku_node_spec());
+  JobRecord bad;
+  bad.job_id = 1;
+  bad.start_time = bad.end_time = 5;  // zero duration
+  JobRecord late, early;
+  late.job_id = 2;
+  late.submit_time = 1000;
+  late.start_time = 1100;
+  late.end_time = 1400;
+  late.perf2 = 1e6;
+  late.perf4 = late.perf5 = 1e12;
+  late.nodes_allocated = 1;
+  early = late;
+  early.job_id = 3;
+  early.submit_time = 500;
+
+  const std::vector<JobRecord> records{bad, late, early};
+  const std::vector<Boundedness> predicted(3, Boundedness::kMemoryBound);
+  const auto jobs = make_dispatch_jobs(records, predicted, ch);
+  ASSERT_EQ(jobs.size(), 2U);
+  EXPECT_EQ(jobs[0].job_id, 3U);
+  EXPECT_EQ(jobs[1].job_id, 2U);
+}
+
+// ------------------------------------------------ conservation property
+
+class DispatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DispatchProperty, AllJobsCompleteUnderEveryPolicy) {
+  Rng rng(GetParam());
+  std::vector<DispatchJob> jobs;
+  TimePoint t = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    t += static_cast<TimePoint>(rng.exponential(1.0 / 120.0));
+    const bool mem_truth = rng.bernoulli(0.75);
+    const bool correct = rng.bernoulli(0.9);
+    jobs.push_back(simple_job(
+        i + 1, t, static_cast<std::uint32_t>(1 + rng.bounded(12)),
+        60.0 + rng.exponential(1.0 / 1800.0),
+        mem_truth ? Boundedness::kMemoryBound : Boundedness::kComputeBound,
+        (mem_truth == correct) ? Boundedness::kMemoryBound : Boundedness::kComputeBound,
+        rng.bernoulli(0.4) ? FrequencyMode::kBoost : FrequencyMode::kNormal,
+        500.0 + rng.uniform() * 2000.0));
+  }
+  for (const bool advisor : {false, true}) {
+    for (const bool coschedule : {false, true}) {
+      DispatchConfig config = exclusive_config(16);
+      config.frequency_advisor = advisor;
+      config.co_schedule = coschedule;
+      const auto result = simulate_dispatch(jobs, config);
+      EXPECT_EQ(result.jobs_completed, jobs.size());
+      EXPECT_GT(result.makespan_s, 0.0);
+      EXPECT_GE(result.mean_wait_s, 0.0);
+      EXPECT_GT(result.total_energy_gj, 0.0);
+      EXPECT_GE(result.p95_wait_s, result.mean_wait_s * 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchProperty, ::testing::Values(1, 22, 520));
+
+}  // namespace
+}  // namespace mcb

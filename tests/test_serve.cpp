@@ -1,0 +1,374 @@
+// Tests for the serve module: HTTP parsing/serialization, the server's
+// socket round trip, and the MCBound JSON API endpoints.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "serve/api.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "workload/generator.hpp"
+
+namespace mcb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- parsing
+
+TEST(HttpParse, SimpleGet) {
+  const auto request = parse_http_request("GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/health");
+  EXPECT_EQ(request->headers.at("host"), "x");
+  EXPECT_TRUE(request->body.empty());
+}
+
+TEST(HttpParse, PostWithBody) {
+  const std::string raw =
+      "POST /predict HTTP/1.1\r\nContent-Type: application/json\r\n"
+      "Content-Length: 11\r\n\r\n{\"a\":\"b\"}xx";
+  const auto request = parse_http_request(raw);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body, "{\"a\":\"b\"}xx");
+}
+
+TEST(HttpParse, QueryStringSplit) {
+  const auto request = parse_http_request("GET /jobs?from=1&to=2 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path, "/jobs");
+  EXPECT_EQ(request->query, "from=1&to=2");
+}
+
+TEST(HttpParse, HeaderKeysAreLowercased) {
+  const auto request =
+      parse_http_request("GET / HTTP/1.1\r\nX-CUSTOM-Header:  Value \r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers.at("x-custom-header"), "Value");
+}
+
+TEST(HttpParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("GET\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET /x\r\n\r\n").has_value());           // no version
+  EXPECT_FALSE(parse_http_request("GET /x SMTP/1.0\r\n\r\n").has_value());  // bad proto
+  EXPECT_FALSE(parse_http_request("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").has_value());
+}
+
+TEST(HttpParse, IncompleteBodyIsRejected) {
+  const std::string raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+  EXPECT_FALSE(parse_http_request(raw).has_value());
+}
+
+TEST(HttpSerialize, ResponseWireFormat) {
+  HttpResponse response = HttpResponse::json(404, "{}");
+  const std::string wire = serialize_http_response(response);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{}"), std::string::npos);
+}
+
+TEST(HttpSerialize, ExpectedRequestLength) {
+  EXPECT_EQ(expected_request_length("GET / HTTP/1.1"), 0U);  // incomplete head
+  const std::string head = "GET / HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(expected_request_length(head), head.size());
+  const std::string with_body = "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\n";
+  EXPECT_EQ(expected_request_length(with_body), with_body.size() + 5);
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(HttpServer, DispatchRoutesAndErrors) {
+  HttpServer server;
+  server.route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::json(200, R"({"pong":true})");
+  });
+  HttpRequest ok{"GET", "/ping", "", {}, ""};
+  EXPECT_EQ(server.dispatch(ok).status, 200);
+  HttpRequest wrong_method{"POST", "/ping", "", {}, ""};
+  EXPECT_EQ(server.dispatch(wrong_method).status, 405);
+  HttpRequest missing{"GET", "/nope", "", {}, ""};
+  EXPECT_EQ(server.dispatch(missing).status, 404);
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+  HttpServer server;
+  server.route("GET", "/boom",
+               [](const HttpRequest&) -> HttpResponse { throw std::runtime_error("bad"); });
+  HttpRequest request{"GET", "/boom", "", {}, ""};
+  const auto response = server.dispatch(request);
+  EXPECT_EQ(response.status, 500);
+  EXPECT_NE(response.body.find("bad"), std::string::npos);
+}
+
+TEST(HttpServer, SocketRoundTrip) {
+  HttpServer server;
+  server.route("POST", "/echo", [](const HttpRequest& request) {
+    return HttpResponse::json(200, request.body);
+  });
+  ASSERT_TRUE(server.start(0));
+  ASSERT_GT(server.port(), 0);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(http_request(server.port(), "POST", "/echo", R"({"x":1})", status, body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, R"({"x":1})");
+
+  ASSERT_TRUE(http_request(server.port(), "GET", "/missing", "", status, body));
+  EXPECT_EQ(status, 404);
+  server.stop();
+  EXPECT_FALSE(server.is_running());
+}
+
+TEST(HttpServer, ConcurrentRequests) {
+  HttpServer server;
+  server.route("GET", "/n", [](const HttpRequest&) {
+    return HttpResponse::json(200, "{}");
+  });
+  ASSERT_TRUE(server.start(0));
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&server, &ok_count] {
+      int status = 0;
+      std::string body;
+      if (http_request(server.port(), "GET", "/n", "", status, body) && status == 200) {
+        ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok_count.load(), 8);
+  server.stop();
+}
+
+// ----------------------------------------------------- job JSON mapping
+
+TEST(JobJson, RoundTrip) {
+  JobRecord job;
+  job.job_id = 7;
+  job.user_name = "u00001";
+  job.job_name = "wrf_sim";
+  job.environment = "lang/tcsds";
+  job.nodes_requested = 4;
+  job.cores_requested = 192;
+  job.frequency = FrequencyMode::kBoost;
+  job.submit_time = 1000;
+  job.start_time = 1100;
+  job.end_time = 2100;
+  job.nodes_allocated = 4;
+  job.perf2 = 1e12;
+  job.perf3 = 2e12;
+  job.perf4 = 3e12;
+  job.perf5 = 4e12;
+
+  const auto parsed = job_from_json(job_to_json(job));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->job_id, 7U);
+  EXPECT_EQ(parsed->job_name, "wrf_sim");
+  EXPECT_EQ(parsed->frequency, FrequencyMode::kBoost);
+  EXPECT_DOUBLE_EQ(parsed->perf4, 3e12);
+  EXPECT_EQ(parsed->duration(), 1000);
+}
+
+TEST(JobJson, DefaultsAndValidation) {
+  std::string error;
+  // Minimal valid job: just a name.
+  const auto minimal = job_from_json(*Json::parse(R"({"job_name":"x"})"), &error);
+  ASSERT_TRUE(minimal.has_value()) << error;
+  EXPECT_EQ(minimal->nodes_requested, 1U);
+  EXPECT_EQ(minimal->frequency, FrequencyMode::kNormal);
+  EXPECT_EQ(minimal->nodes_allocated, 1U);
+
+  EXPECT_FALSE(job_from_json(*Json::parse(R"({})"), &error).has_value());
+  EXPECT_FALSE(
+      job_from_json(*Json::parse(R"({"job_name":"x","nodes_requested":0})"), &error)
+          .has_value());
+  EXPECT_FALSE(job_from_json(*Json::parse(R"([1,2,3])"), &error).has_value());
+}
+
+// ---------------------------------------------------------------- API
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_dir_ = (fs::temp_directory_path() / "mcb_api_test").string();
+    fs::remove_all(registry_dir_);
+
+    const TimePoint base = timepoint_from_ymd(2024, 1, 10);
+    last_end_ = base;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      const bool compute = i % 2 == 1;
+      JobRecord job;
+      job.job_id = i;
+      job.user_name = compute ? "u2" : "u1";
+      job.job_name = compute ? "dgemm_app" : "stream_app";
+      job.environment = "env";
+      job.nodes_requested = job.nodes_allocated = 2;
+      job.cores_requested = 96;
+      job.submit_time = base + static_cast<TimePoint>(i) * 3600;
+      job.start_time = job.submit_time + 100;
+      job.end_time = job.start_time + 900;
+      if (compute) {
+        job.perf2 = 1e15;
+        job.perf4 = job.perf5 = 1e6;
+      } else {
+        job.perf2 = 1e6;
+        job.perf4 = job.perf5 = 1e12;
+      }
+      last_end_ = std::max(last_end_, job.end_time);
+      store_.insert(std::move(job));
+    }
+
+    config_.registry_dir = registry_dir_;
+    config_.model = ModelKind::kKnn;
+    config_.alpha_days = 40;
+    framework_ = std::make_unique<Framework>(config_, store_);
+    api_ = std::make_unique<ApiServer>(*framework_);
+  }
+
+  void TearDown() override { fs::remove_all(registry_dir_); }
+
+  HttpResponse call(const std::string& method, const std::string& path,
+                    const std::string& body = "") {
+    HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = body;
+    return api_->dispatch(request);
+  }
+
+  std::string registry_dir_;
+  JobStore store_;
+  FrameworkConfig config_;
+  std::unique_ptr<Framework> framework_;
+  std::unique_ptr<ApiServer> api_;
+  TimePoint last_end_ = 0;
+};
+
+TEST_F(ApiTest, HealthBeforeTraining) {
+  const auto response = call("GET", "/health");
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ((*json)["status"].as_string(), "ok");
+  EXPECT_FALSE((*json)["trained"].as_bool(true));
+}
+
+TEST_F(ApiTest, PredictWithoutModelIs503) {
+  const auto response = call("POST", "/predict", R"({"job_name":"stream_app"})");
+  EXPECT_EQ(response.status, 503);
+}
+
+TEST_F(ApiTest, TrainThenPredictFlow) {
+  const auto train_response =
+      call("POST", "/train", "{\"now\": " + std::to_string(last_end_ + 10) + "}");
+  EXPECT_EQ(train_response.status, 201);
+  const auto train_json = Json::parse(train_response.body);
+  EXPECT_EQ((*train_json)["jobs_used"].as_int(), 60);
+  EXPECT_EQ((*train_json)["version"].as_int(), 1);
+
+  const auto predict_response = call(
+      "POST", "/predict",
+      R"({"job_name":"stream_app","user_name":"u1","nodes_requested":2,"cores_requested":96,"environment":"env"})");
+  EXPECT_EQ(predict_response.status, 200);
+  const auto predict_json = Json::parse(predict_response.body);
+  EXPECT_EQ((*predict_json)["label"].as_string(), "memory-bound");
+
+  const auto predict2 = call(
+      "POST", "/predict",
+      R"({"job_name":"dgemm_app","user_name":"u2","nodes_requested":2,"cores_requested":96,"environment":"env"})");
+  EXPECT_EQ(*Json::parse(predict2.body), *Json::parse(predict2.body));
+  EXPECT_EQ((*Json::parse(predict2.body))["label"].as_string(), "compute-bound");
+
+  const auto health = Json::parse(call("GET", "/health").body);
+  EXPECT_TRUE((*health)["trained"].as_bool());
+}
+
+TEST_F(ApiTest, TrainEmptyWindowIs409) {
+  const auto response = call("POST", "/train", R"({"now": 1000})");  // before any data
+  EXPECT_EQ(response.status, 409);
+}
+
+TEST_F(ApiTest, CharacterizeEndpoint) {
+  const auto response = call(
+      "POST", "/characterize",
+      R"({"job_name":"x","nodes_allocated":1,"start_time":0,"end_time":1000,"perf2":1e15,"perf3":0,"perf4":1,"perf5":1})");
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  EXPECT_EQ((*json)["label"].as_string(), "compute-bound");
+  EXPECT_GT((*json)["metrics"]["operational_intensity"].as_double(), 3.3);
+}
+
+TEST_F(ApiTest, CharacterizeRejectsZeroDuration) {
+  const auto response =
+      call("POST", "/characterize", R"({"job_name":"x","start_time":5,"end_time":5})");
+  EXPECT_EQ(response.status, 400);
+}
+
+TEST_F(ApiTest, MalformedJsonIs400) {
+  EXPECT_EQ(call("POST", "/predict", "{not json").status, 400);
+  EXPECT_EQ(call("POST", "/train", "[[[").status, 400);
+}
+
+TEST_F(ApiTest, ModelInfoListsFeatures) {
+  const auto response = call("GET", "/model/info");
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  EXPECT_EQ((*json)["encoder_dim"].as_int(), 384);
+  EXPECT_EQ((*json)["features"].size(), 6U);
+  EXPECT_NEAR((*json)["ridge_point_flops_per_byte"].as_double(), 3.3, 0.05);
+}
+
+TEST_F(ApiTest, EncodeEndpointReturnsNormalizedEmbedding) {
+  const auto response =
+      call("POST", "/encode", R"({"job_name":"stream_app","user_name":"u1"})");
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value());
+  const auto& embedding = (*json)["embedding"].as_array();
+  EXPECT_EQ(embedding.size(), 384U);
+  double norm = 0.0;
+  for (const Json& v : embedding) norm += v.as_double() * v.as_double();
+  EXPECT_NEAR(norm, 1.0, 1e-4);
+  EXPECT_FALSE((*json)["feature_string"].as_string().empty());
+}
+
+TEST_F(ApiTest, JobsRangeEndpoint) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/jobs";
+  request.query = "from=0&to=99999999999&field=end&limit=5";
+  const auto response = api_->dispatch(request);
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ((*json)["count"].as_int(), 60);
+  EXPECT_EQ((*json)["jobs"].size(), 5U);  // limit applied
+
+  request.query = "from=5&to=2";
+  EXPECT_EQ(api_->dispatch(request).status, 400);
+  request.query = "from=0&to=1&field=bogus";
+  EXPECT_EQ(api_->dispatch(request).status, 400);
+}
+
+TEST_F(ApiTest, EndToEndOverSockets) {
+  ASSERT_TRUE(api_->start(0));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(http_request(api_->port(), "GET", "/health", "", status, body));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(http_request(api_->port(), "POST", "/train",
+                           "{\"now\": " + std::to_string(last_end_ + 10) + "}", status,
+                           body));
+  EXPECT_EQ(status, 201);
+  ASSERT_TRUE(http_request(api_->port(), "POST", "/predict",
+                           R"({"job_name":"stream_app","user_name":"u1"})", status, body));
+  EXPECT_EQ(status, 200);
+  api_->stop();
+}
+
+}  // namespace
+}  // namespace mcb

@@ -1,0 +1,301 @@
+// Tests for the synthetic Fugaku workload generator: determinism,
+// calendar structure, campaign batching, counter consistency and the
+// calibration targets from the paper's Table II / Figures 2-5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "roofline/analysis.hpp"
+#include "util/stats.hpp"
+#include "roofline/characterizer.hpp"
+#include "workload/generator.hpp"
+
+namespace mcb {
+namespace {
+
+WorkloadConfig small_config(std::uint64_t seed = 15) {
+  WorkloadConfig config = scaled_workload_config(120.0, seed);
+  return config;
+}
+
+class GeneratedWorkload : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new WorkloadConfig(small_config());
+    generator_ = new WorkloadGenerator(*config_);
+    jobs_ = new std::vector<JobRecord>(generator_->generate());
+  }
+  static void TearDownTestSuite() {
+    delete jobs_;
+    delete generator_;
+    delete config_;
+    jobs_ = nullptr;
+    generator_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static WorkloadConfig* config_;
+  static WorkloadGenerator* generator_;
+  static std::vector<JobRecord>* jobs_;
+};
+
+WorkloadConfig* GeneratedWorkload::config_ = nullptr;
+WorkloadGenerator* GeneratedWorkload::generator_ = nullptr;
+std::vector<JobRecord>* GeneratedWorkload::jobs_ = nullptr;
+
+TEST_F(GeneratedWorkload, VolumeMatchesConfiguredRate) {
+  // ~122 days minus 3 maintenance days at 120 jobs/day.
+  const double expected = 119.0 * config_->jobs_per_day;
+  EXPECT_NEAR(static_cast<double>(jobs_->size()), expected, expected * 0.15);
+}
+
+TEST_F(GeneratedWorkload, SortedBySubmitTimeWithSequentialIds) {
+  for (std::size_t i = 1; i < jobs_->size(); ++i) {
+    EXPECT_LE((*jobs_)[i - 1].submit_time, (*jobs_)[i].submit_time);
+    EXPECT_EQ((*jobs_)[i].job_id, (*jobs_)[i - 1].job_id + 1);
+  }
+  EXPECT_EQ(jobs_->front().job_id, config_->first_job_id);
+}
+
+TEST_F(GeneratedWorkload, AllTimestampsWithinPeriod) {
+  for (const auto& job : *jobs_) {
+    EXPECT_GE(job.submit_time, config_->start_time);
+    EXPECT_LT(job.submit_time, config_->end_time);
+    EXPECT_GE(job.start_time, job.submit_time);
+    EXPECT_GT(job.end_time, job.start_time);
+  }
+}
+
+TEST_F(GeneratedWorkload, MaintenanceWindowIsSilent) {
+  for (const auto& job : *jobs_) {
+    EXPECT_FALSE(job.submit_time >= config_->maintenance_start &&
+                 job.submit_time < config_->maintenance_end)
+        << "job submitted during maintenance at " << format_datetime(job.submit_time);
+  }
+}
+
+TEST_F(GeneratedWorkload, SubmissionRateUniformOutsideMaintenance) {
+  // Daily counts should be within a reasonable band of the mean (Fig. 2:
+  // "job submission rate is uniform except for ... maintenance").
+  std::map<std::int64_t, std::size_t> daily;
+  for (const auto& job : *jobs_) {
+    ++daily[day_index(job.submit_time, config_->start_time)];
+  }
+  const double mean = static_cast<double>(jobs_->size()) / static_cast<double>(daily.size());
+  std::size_t outliers = 0;
+  for (const auto& [day, count] : daily) {
+    (void)day;
+    if (count < mean * 0.3 || count > mean * 3.0) ++outliers;
+  }
+  EXPECT_LE(outliers, daily.size() / 10);
+}
+
+TEST_F(GeneratedWorkload, CountersAreConsistentWithRoofline) {
+  const Characterizer ch(config_->machine);
+  for (const auto& job : *jobs_) {
+    const auto metrics = ch.compute_metrics(job);
+    ASSERT_TRUE(metrics.has_value());
+    // Jobs can never exceed the roofline of their intensity (boost spec).
+    const double roof = config_->machine.attainable_gflops(metrics->operational_intensity);
+    EXPECT_LE(metrics->performance_gflops, roof * 1.0001);
+    EXPECT_GE(metrics->flops, 0.0);
+    EXPECT_GT(metrics->moved_bytes, 0.0);
+  }
+}
+
+TEST_F(GeneratedWorkload, MemoryToComputeRatioNearPaper) {
+  const Characterizer ch(config_->machine);
+  const auto analysis = analyze_jobs(ch, *jobs_);
+  // Paper Table II: ratio ~3.44. Seed-to-seed spread is real (heavy-
+  // hitter apps), so accept a generous band around it.
+  const double ratio = analysis.breakdown.memory_to_compute_ratio();
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST_F(GeneratedWorkload, FrequencyModesMatchTableII) {
+  const Characterizer ch(config_->machine);
+  const auto analysis = analyze_jobs(ch, *jobs_);
+  // Paper: ~54% of memory-bound jobs at normal mode; ~30% of
+  // compute-bound jobs at boost mode.
+  EXPECT_NEAR(analysis.breakdown.memory_bound_normal_fraction(), 0.54, 0.10);
+  EXPECT_NEAR(analysis.breakdown.compute_bound_boost_fraction(), 0.31, 0.12);
+}
+
+TEST_F(GeneratedWorkload, FrequencyUncorrelatedWithIntensity) {
+  const Characterizer ch(config_->machine);
+  const auto analysis = analyze_jobs(ch, *jobs_);
+  // Fig. 5: "no observable correlation" — allow a weak residual.
+  EXPECT_LT(std::abs(analysis.frequency_intensity_correlation()), 0.3);
+}
+
+TEST_F(GeneratedWorkload, MostJobsAreFarFromRoofline) {
+  const Characterizer ch(config_->machine);
+  const auto analysis = analyze_jobs(ch, *jobs_);
+  // Fig. 3: only a few clusters sit close to the roofline.
+  const double near = analysis.fraction_near_roofline(ch, 0.5);
+  EXPECT_GT(near, 0.01);
+  EXPECT_LT(near, 0.4);
+}
+
+TEST_F(GeneratedWorkload, JobsArriveInCampaignsOfIdenticalJobs) {
+  // The same (job name, user, nodes, cores, frequency) tuple should
+  // repeat many times (batches of identical jobs).
+  std::map<std::string, std::size_t> signature_counts;
+  for (const auto& job : *jobs_) {
+    signature_counts[job.user_name + '|' + job.job_name + '|' +
+                     std::to_string(job.nodes_requested) + '|' +
+                     std::to_string(frequency_mhz(job.frequency))]++;
+  }
+  std::size_t repeated_jobs = 0;
+  for (const auto& [sig, count] : signature_counts) {
+    (void)sig;
+    if (count >= 4) repeated_jobs += count;
+  }
+  EXPECT_GT(static_cast<double>(repeated_jobs) / static_cast<double>(jobs_->size()), 0.5);
+}
+
+TEST_F(GeneratedWorkload, UsersOwnTheirApps) {
+  // A job name family (base name) must always come from the same user.
+  std::map<std::string, std::set<std::string>> users_by_base;
+  for (const auto& job : *jobs_) {
+    const std::size_t cut = job.job_name.rfind("_r");
+    const std::string base = cut != std::string::npos &&
+                                     job.job_name.find_first_not_of(
+                                         "0123456789", cut + 2) == std::string::npos
+                                 ? job.job_name.substr(0, cut)
+                                 : job.job_name;
+    users_by_base[base].insert(job.user_name);
+  }
+  for (const auto& [base, users] : users_by_base) {
+    EXPECT_EQ(users.size(), 1U) << "base name " << base << " has multiple owners";
+  }
+}
+
+TEST_F(GeneratedWorkload, SchedulingWaitAveragesMinutes) {
+  double total_wait = 0.0;
+  for (const auto& job : *jobs_) {
+    total_wait += static_cast<double>(job.start_time - job.submit_time);
+  }
+  const double mean_wait = total_wait / static_cast<double>(jobs_->size());
+  EXPECT_GT(mean_wait, 60.0);   // paper: ~3 minutes
+  EXPECT_LT(mean_wait, 600.0);
+}
+
+TEST_F(GeneratedWorkload, AppPopulationIsPlausible) {
+  const auto& apps = generator_->apps();
+  EXPECT_GT(apps.size(), config_->target_active_apps);
+  for (const auto& app : apps) {
+    EXPECT_LT(app.birth_day, app.death_day);
+    EXPECT_GT(app.death_day, 0);  // overlaps the observed period
+    EXPECT_FALSE(app.base_name.empty());
+    EXPECT_FALSE(app.user_name.empty());
+    EXPECT_GE(app.efficiency, 0.001);
+    EXPECT_LE(app.efficiency, 0.95);
+    EXPECT_GE(app.nodes_typical, 1U);
+  }
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(WorkloadGenerator, DeterministicForSeed) {
+  WorkloadConfig config = scaled_workload_config(30.0, 42);
+  WorkloadGenerator a(config), b(config);
+  const auto jobs_a = a.generate();
+  const auto jobs_b = b.generate();
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_EQ(jobs_a[i].job_name, jobs_b[i].job_name);
+    EXPECT_EQ(jobs_a[i].submit_time, jobs_b[i].submit_time);
+    EXPECT_DOUBLE_EQ(jobs_a[i].perf3, jobs_b[i].perf3);
+  }
+}
+
+TEST(WorkloadGenerator, DifferentSeedsDiffer) {
+  WorkloadGenerator a(scaled_workload_config(30.0, 1));
+  WorkloadGenerator b(scaled_workload_config(30.0, 2));
+  const auto jobs_a = a.generate();
+  const auto jobs_b = b.generate();
+  // Same calendar so sizes are similar, but contents must differ.
+  bool any_difference = jobs_a.size() != jobs_b.size();
+  for (std::size_t i = 0; !any_difference && i < std::min(jobs_a.size(), jobs_b.size());
+       ++i) {
+    any_difference = jobs_a[i].job_name != jobs_b[i].job_name;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(WorkloadGenerator, FrequencyAffectsComputePerformance) {
+  // At fixed app efficiency, a compute-bound job in normal mode attains
+  // ~9% lower per-node performance than in boost mode (clock scaling).
+  WorkloadConfig config = scaled_workload_config(200.0, 3);
+  config.frac_memory_apps = 0.0;
+  config.frac_straddler_apps = 0.0;
+  config.frac_compute_apps = 1.0;
+  WorkloadGenerator gen(config);
+  const auto jobs = gen.generate();
+  const Characterizer ch(config.machine);
+  OnlineStats normal_eff, boost_eff;
+  for (const auto& job : jobs) {
+    const auto metrics = ch.compute_metrics(job);
+    if (!metrics.has_value() || metrics->operational_intensity < 5.0) continue;
+    const double eff = metrics->performance_gflops / config.machine.peak_gflops;
+    (job.frequency == FrequencyMode::kNormal ? normal_eff : boost_eff).add(eff);
+  }
+  ASSERT_GT(normal_eff.count(), 100U);
+  ASSERT_GT(boost_eff.count(), 100U);
+  // Ratio of mean attained fractions ~ 2.0/2.2.
+  EXPECT_NEAR(normal_eff.mean() / boost_eff.mean(), 2.0 / 2.2, 0.08);
+}
+
+TEST(WorkloadGenerator, EmptyPeriodProducesNoJobs) {
+  WorkloadConfig config = scaled_workload_config(100.0, 5);
+  config.end_time = config.start_time + kSecondsPerDay;  // one day
+  config.maintenance_start = config.start_time;
+  config.maintenance_end = config.end_time;  // fully under maintenance
+  WorkloadGenerator gen(config);
+  EXPECT_TRUE(gen.generate().empty());
+}
+
+TEST(WorkloadGenerator, FirstJobIdOffset) {
+  WorkloadConfig config = scaled_workload_config(20.0, 6);
+  config.first_job_id = 1000;
+  WorkloadGenerator gen(config);
+  const auto jobs = gen.generate();
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_EQ(jobs.front().job_id, 1000U);
+}
+
+// --------------------------------------- parameterized mixture sweep
+
+class MixtureProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MixtureProperty, MemoryFractionTracksMixture) {
+  const auto [mem, strad, comp] = GetParam();
+  WorkloadConfig config = scaled_workload_config(150.0, 11);
+  config.frac_memory_apps = mem;
+  config.frac_straddler_apps = strad;
+  config.frac_compute_apps = comp;
+  WorkloadGenerator gen(config);
+  const auto jobs = gen.generate();
+  const Characterizer ch(config.machine);
+  std::size_t memory = 0;
+  for (const auto& job : jobs) {
+    memory += *ch.characterize(job) == Boundedness::kMemoryBound;
+  }
+  const double frac = static_cast<double>(memory) / static_cast<double>(jobs.size());
+  const double expected = mem + strad * 0.5;
+  EXPECT_NEAR(frac, expected, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixtures, MixtureProperty,
+                         ::testing::Values(std::make_tuple(1.0, 0.0, 0.0),
+                                           std::make_tuple(0.0, 0.0, 1.0),
+                                           std::make_tuple(0.5, 0.0, 0.5),
+                                           std::make_tuple(0.7, 0.15, 0.15)));
+
+}  // namespace
+}  // namespace mcb
