@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alpha_plus.dir/bench_alpha_plus.cpp.o"
+  "CMakeFiles/bench_alpha_plus.dir/bench_alpha_plus.cpp.o.d"
+  "bench_alpha_plus"
+  "bench_alpha_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alpha_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

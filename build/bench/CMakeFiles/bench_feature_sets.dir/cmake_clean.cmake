@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_sets.dir/bench_feature_sets.cpp.o"
+  "CMakeFiles/bench_feature_sets.dir/bench_feature_sets.cpp.o.d"
+  "bench_feature_sets"
+  "bench_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

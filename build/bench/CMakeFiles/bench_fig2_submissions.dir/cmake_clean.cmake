@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_submissions.dir/bench_fig2_submissions.cpp.o"
+  "CMakeFiles/bench_fig2_submissions.dir/bench_fig2_submissions.cpp.o.d"
+  "bench_fig2_submissions"
+  "bench_fig2_submissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_submissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

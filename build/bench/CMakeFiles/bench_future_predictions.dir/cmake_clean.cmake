@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_predictions.dir/bench_future_predictions.cpp.o"
+  "CMakeFiles/bench_future_predictions.dir/bench_future_predictions.cpp.o.d"
+  "bench_future_predictions"
+  "bench_future_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

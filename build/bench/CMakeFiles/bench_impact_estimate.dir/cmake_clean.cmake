@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impact_estimate.dir/bench_impact_estimate.cpp.o"
+  "CMakeFiles/bench_impact_estimate.dir/bench_impact_estimate.cpp.o.d"
+  "bench_impact_estimate"
+  "bench_impact_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impact_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_jobtypes.dir/bench_table2_jobtypes.cpp.o"
+  "CMakeFiles/bench_table2_jobtypes.dir/bench_table2_jobtypes.cpp.o.d"
+  "bench_table2_jobtypes"
+  "bench_table2_jobtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_jobtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

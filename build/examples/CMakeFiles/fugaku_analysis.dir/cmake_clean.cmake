@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugaku_analysis.dir/fugaku_analysis.cpp.o"
+  "CMakeFiles/fugaku_analysis.dir/fugaku_analysis.cpp.o.d"
+  "fugaku_analysis"
+  "fugaku_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugaku_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_deployment.dir/online_deployment.cpp.o"
+  "CMakeFiles/online_deployment.dir/online_deployment.cpp.o.d"
+  "online_deployment"
+  "online_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

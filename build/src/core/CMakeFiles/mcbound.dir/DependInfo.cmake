@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classification_model.cpp" "src/core/CMakeFiles/mcbound.dir/classification_model.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/classification_model.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/mcbound.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/config.cpp.o.d"
+  "/root/repo/src/core/feature_encoder.cpp" "src/core/CMakeFiles/mcbound.dir/feature_encoder.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/feature_encoder.cpp.o.d"
+  "/root/repo/src/core/mcbound.cpp" "src/core/CMakeFiles/mcbound.dir/mcbound.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/mcbound.cpp.o.d"
+  "/root/repo/src/core/model_registry.cpp" "src/core/CMakeFiles/mcbound.dir/model_registry.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/model_registry.cpp.o.d"
+  "/root/repo/src/core/online_evaluator.cpp" "src/core/CMakeFiles/mcbound.dir/online_evaluator.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/online_evaluator.cpp.o.d"
+  "/root/repo/src/core/workflows.cpp" "src/core/CMakeFiles/mcbound.dir/workflows.cpp.o" "gcc" "src/core/CMakeFiles/mcbound.dir/workflows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/mcb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/mcb_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mcb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

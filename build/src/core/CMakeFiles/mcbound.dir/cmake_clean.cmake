@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcbound.dir/classification_model.cpp.o"
+  "CMakeFiles/mcbound.dir/classification_model.cpp.o.d"
+  "CMakeFiles/mcbound.dir/config.cpp.o"
+  "CMakeFiles/mcbound.dir/config.cpp.o.d"
+  "CMakeFiles/mcbound.dir/feature_encoder.cpp.o"
+  "CMakeFiles/mcbound.dir/feature_encoder.cpp.o.d"
+  "CMakeFiles/mcbound.dir/mcbound.cpp.o"
+  "CMakeFiles/mcbound.dir/mcbound.cpp.o.d"
+  "CMakeFiles/mcbound.dir/model_registry.cpp.o"
+  "CMakeFiles/mcbound.dir/model_registry.cpp.o.d"
+  "CMakeFiles/mcbound.dir/online_evaluator.cpp.o"
+  "CMakeFiles/mcbound.dir/online_evaluator.cpp.o.d"
+  "CMakeFiles/mcbound.dir/workflows.cpp.o"
+  "CMakeFiles/mcbound.dir/workflows.cpp.o.d"
+  "libmcbound.a"
+  "libmcbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

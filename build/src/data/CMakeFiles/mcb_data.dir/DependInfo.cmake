@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/data_fetcher.cpp" "src/data/CMakeFiles/mcb_data.dir/data_fetcher.cpp.o" "gcc" "src/data/CMakeFiles/mcb_data.dir/data_fetcher.cpp.o.d"
+  "/root/repo/src/data/job_record.cpp" "src/data/CMakeFiles/mcb_data.dir/job_record.cpp.o" "gcc" "src/data/CMakeFiles/mcb_data.dir/job_record.cpp.o.d"
+  "/root/repo/src/data/job_store.cpp" "src/data/CMakeFiles/mcb_data.dir/job_store.cpp.o" "gcc" "src/data/CMakeFiles/mcb_data.dir/job_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

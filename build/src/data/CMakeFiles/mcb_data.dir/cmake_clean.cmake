@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_data.dir/data_fetcher.cpp.o"
+  "CMakeFiles/mcb_data.dir/data_fetcher.cpp.o.d"
+  "CMakeFiles/mcb_data.dir/job_record.cpp.o"
+  "CMakeFiles/mcb_data.dir/job_record.cpp.o.d"
+  "CMakeFiles/mcb_data.dir/job_store.cpp.o"
+  "CMakeFiles/mcb_data.dir/job_store.cpp.o.d"
+  "libmcb_data.a"
+  "libmcb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_ml.dir/baseline.cpp.o"
+  "CMakeFiles/mcb_ml.dir/baseline.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/dataset.cpp.o"
+  "CMakeFiles/mcb_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/mcb_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/knn.cpp.o"
+  "CMakeFiles/mcb_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/knn_regressor.cpp.o"
+  "CMakeFiles/mcb_ml.dir/knn_regressor.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/metrics.cpp.o"
+  "CMakeFiles/mcb_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/mcb_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/mcb_ml.dir/serialize.cpp.o"
+  "CMakeFiles/mcb_ml.dir/serialize.cpp.o.d"
+  "libmcb_ml.a"
+  "libmcb_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_roofline.dir/analysis.cpp.o"
+  "CMakeFiles/mcb_roofline.dir/analysis.cpp.o.d"
+  "CMakeFiles/mcb_roofline.dir/characterizer.cpp.o"
+  "CMakeFiles/mcb_roofline.dir/characterizer.cpp.o.d"
+  "CMakeFiles/mcb_roofline.dir/extended.cpp.o"
+  "CMakeFiles/mcb_roofline.dir/extended.cpp.o.d"
+  "libmcb_roofline.a"
+  "libmcb_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

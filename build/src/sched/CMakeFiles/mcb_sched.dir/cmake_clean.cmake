@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_sched.dir/dispatch.cpp.o"
+  "CMakeFiles/mcb_sched.dir/dispatch.cpp.o.d"
+  "libmcb_sched.a"
+  "libmcb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

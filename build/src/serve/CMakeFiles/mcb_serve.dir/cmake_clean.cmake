@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_serve.dir/api.cpp.o"
+  "CMakeFiles/mcb_serve.dir/api.cpp.o.d"
+  "CMakeFiles/mcb_serve.dir/http.cpp.o"
+  "CMakeFiles/mcb_serve.dir/http.cpp.o.d"
+  "CMakeFiles/mcb_serve.dir/server.cpp.o"
+  "CMakeFiles/mcb_serve.dir/server.cpp.o.d"
+  "libmcb_serve.a"
+  "libmcb_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

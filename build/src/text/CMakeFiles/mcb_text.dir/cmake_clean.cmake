@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_text.dir/sentence_encoder.cpp.o"
+  "CMakeFiles/mcb_text.dir/sentence_encoder.cpp.o.d"
+  "CMakeFiles/mcb_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/mcb_text.dir/tokenizer.cpp.o.d"
+  "libmcb_text.a"
+  "libmcb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_util.dir/cli.cpp.o"
+  "CMakeFiles/mcb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/csv.cpp.o"
+  "CMakeFiles/mcb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/histogram.cpp.o"
+  "CMakeFiles/mcb_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/json.cpp.o"
+  "CMakeFiles/mcb_util.dir/json.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/rng.cpp.o"
+  "CMakeFiles/mcb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/stats.cpp.o"
+  "CMakeFiles/mcb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/strings.cpp.o"
+  "CMakeFiles/mcb_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/table.cpp.o"
+  "CMakeFiles/mcb_util.dir/table.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcb_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mcb_util.dir/time.cpp.o"
+  "CMakeFiles/mcb_util.dir/time.cpp.o.d"
+  "libmcb_util.a"
+  "libmcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcb_workload.dir/generator.cpp.o"
+  "CMakeFiles/mcb_workload.dir/generator.cpp.o.d"
+  "libmcb_workload.a"
+  "libmcb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_serve.cpp" "tests/CMakeFiles/test_serve.dir/test_serve.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/test_serve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serve/CMakeFiles/mcb_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mcb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/mcb_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mcb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

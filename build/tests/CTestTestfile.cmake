@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build/tests/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_roofline "/root/repo/build/tests/test_roofline")
+set_tests_properties(test_roofline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_text "/root/repo/build/tests/test_text")
+set_tests_properties(test_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_serve "/root/repo/build/tests/test_serve")
+set_tests_properties(test_serve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build/tests/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;mcb_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcbound_cli.dir/mcbound_cli.cpp.o"
+  "CMakeFiles/mcbound_cli.dir/mcbound_cli.cpp.o.d"
+  "mcbound"
+  "mcbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcbound_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
