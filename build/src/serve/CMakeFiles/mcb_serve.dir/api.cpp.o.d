@@ -268,4 +268,9 @@ src/serve/CMakeFiles/mcb_serve.dir/api.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/serve/http.hpp /root/repo/src/util/strings.hpp
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/serve/http.hpp \
+ /root/repo/src/util/histogram.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/strings.hpp

@@ -7,6 +7,7 @@
 // it stays up for manual curl exploration instead.
 //
 // Usage: ./examples/serve_demo [--port P] [--serve true]
+//                              [--http-threads N] [--http-queue N]
 #include <cstdio>
 
 #include "core/mcbound.hpp"
@@ -16,9 +17,11 @@
 
 int main(int argc, char** argv) {
   using namespace mcb;
-  const auto flags =
-      CliFlags::parse(argc, argv, {"port", "serve", "jobs-per-day", "seed"},
-                      "usage: serve_demo [--port P] [--serve true] [--jobs-per-day N]");
+  const auto flags = CliFlags::parse(
+      argc, argv,
+      {"port", "serve", "jobs-per-day", "seed", "http-threads", "http-queue"},
+      "usage: serve_demo [--port P] [--serve true] [--jobs-per-day N]\n"
+      "                  [--http-threads N] [--http-queue N]");
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;
 
@@ -34,8 +37,14 @@ int main(int argc, char** argv) {
   config.model = ModelKind::kKnn;
   config.alpha_days = 30;
   config.registry_dir = "serve-demo-models";
+  ServerConfig server;
+  server.worker_threads = static_cast<std::size_t>(
+      flags->get_int("http-threads", static_cast<std::int64_t>(server.worker_threads)));
+  server.max_pending = static_cast<std::size_t>(
+      flags->get_int("http-queue", static_cast<std::int64_t>(server.max_pending)));
+
   Framework framework(config, store);
-  ApiServer api(framework);
+  ApiServer api(framework, server);
 
   const int requested_port = static_cast<int>(flags->get_int("port", 0));
   if (!api.start(requested_port)) {
@@ -45,8 +54,8 @@ int main(int argc, char** argv) {
   std::printf("MCBound API listening on http://127.0.0.1:%d\n\n", api.port());
 
   if (flags->get_bool("serve", false)) {
-    std::printf("endpoints: GET /health, GET /model/info, POST /train,\n"
-                "           POST /predict, POST /characterize\n");
+    std::printf("endpoints: GET /health, GET /model/info, GET /metrics,\n"
+                "           POST /train, POST /predict, POST /characterize\n");
     std::printf("example:   curl -X POST http://127.0.0.1:%d/train -d '{}'\n", api.port());
     std::printf("press Ctrl-C to stop.\n");
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
@@ -77,6 +86,10 @@ int main(int argc, char** argv) {
 
   // Stand-alone characterization of a completed job (counters known).
   call("POST", "/characterize", job_to_json(history[200]).dump());
+
+  // Server-side view of everything this demo just did: request counters
+  // and per-route latency summaries from the connection executor.
+  call("GET", "/metrics", "");
 
   api.stop();
   std::printf("server stopped.\n");

@@ -86,7 +86,10 @@ std::optional<JobRecord> parse_job_body(const HttpRequest& request, HttpResponse
 
 }  // namespace
 
-ApiServer::ApiServer(Framework& framework) : framework_(&framework) { install_routes(); }
+ApiServer::ApiServer(Framework& framework, ServerConfig server_config)
+    : framework_(&framework), server_(server_config) {
+  install_routes();
+}
 
 bool ApiServer::start(int port) { return server_.start(port); }
 
@@ -104,6 +107,10 @@ void ApiServer::install_routes() {
   server_.route("POST", "/encode",
                 [this](const HttpRequest& r) { return handle_encode(r); });
   server_.route("GET", "/jobs", [this](const HttpRequest& r) { return handle_jobs(r); });
+  // Observability: no framework lock — reads only executor/server state.
+  server_.route("GET", "/metrics", [this](const HttpRequest&) {
+    return HttpResponse::json(200, server_.stats_json().dump());
+  });
 }
 
 HttpResponse ApiServer::handle_encode(const HttpRequest& request) {

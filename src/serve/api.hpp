@@ -8,6 +8,7 @@
 //   GET  /jobs?from=A&to=B[&field=submit|end] -> job list from the store
 //   POST /predict       -> submitted-job JSON -> {"label":"memory-bound"|...}
 //   POST /train         -> {"now": <epoch s>} -> training report JSON
+//   GET  /metrics       -> server-side counters + per-route latency summaries
 //
 // Mutating endpoints are serialized by an internal mutex; read endpoints
 // take the same lock briefly to snapshot model state (the framework is
@@ -31,13 +32,18 @@ std::optional<JobRecord> job_from_json(const Json& json, std::string* error = nu
 /// outlive the ApiServer.
 class ApiServer {
  public:
-  explicit ApiServer(Framework& framework);
+  /// `server_config` tunes the connection executor (pool size, pending
+  /// queue bound, timeouts, drain budget) — see ServerConfig.
+  explicit ApiServer(Framework& framework, ServerConfig server_config = {});
 
   /// Start serving on the given port (0 = ephemeral). Returns false on
   /// bind failure.
   bool start(int port);
   void stop() { server_.stop(); }
   int port() const noexcept { return server_.port(); }
+
+  /// The /metrics payload (also reachable without sockets).
+  Json metrics() const { return server_.stats_json(); }
 
   /// Route table access for socket-less testing.
   HttpResponse dispatch(const HttpRequest& request) const { return server_.dispatch(request); }

@@ -12,7 +12,9 @@ std::string_view http_status_text(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -33,10 +35,13 @@ std::optional<HttpRequest> parse_http_request(std::string_view raw) {
     const std::string_view line = head.substr(line_start, line_end - line_start);
 
     if (first_line) {
-      // METHOD SP target SP HTTP/x.y
+      // METHOD SP target SP HTTP/x.y — exactly two spaces. find/rfind
+      // would let "GET /a b HTTP/1.1" through with path "/a b".
       const std::size_t sp1 = line.find(' ');
-      const std::size_t sp2 = line.rfind(' ');
-      if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+      if (sp1 == std::string_view::npos) return std::nullopt;
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string_view::npos) return std::nullopt;
+      if (line.find(' ', sp2 + 1) != std::string_view::npos) return std::nullopt;
       request.method = std::string(line.substr(0, sp1));
       std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
       const std::string_view version = line.substr(sp2 + 1);
@@ -54,8 +59,12 @@ std::optional<HttpRequest> parse_http_request(std::string_view raw) {
     } else if (!line.empty()) {
       const std::size_t colon = line.find(':');
       if (colon == std::string_view::npos) return std::nullopt;
-      request.headers.emplace(to_lower(trim(line.substr(0, colon))),
-                              std::string(trim(line.substr(colon + 1))));
+      std::string key = to_lower(trim(line.substr(0, colon)));
+      const auto [it, inserted] =
+          request.headers.emplace(std::move(key), std::string(trim(line.substr(colon + 1))));
+      // Duplicate Content-Length is a request-smuggling vector: reject it
+      // outright instead of silently keeping the first value.
+      if (!inserted && it->first == "content-length") return std::nullopt;
     }
     if (line_end >= head.size()) break;
     line_start = line_end + 2;
@@ -92,14 +101,18 @@ std::size_t expected_request_length(std::string_view received) {
   const std::string head = to_lower(received.substr(0, head_end));
   const std::size_t pos = head.find("content-length:");
   if (pos != std::string::npos) {
+    if (head.find("content-length:", pos + 1) != std::string::npos) {
+      return kInvalidRequestFraming;  // duplicate header: framing ambiguous
+    }
     std::uint64_t length = 0;
     std::size_t value_start = pos + 15;
     std::size_t value_end = head.find("\r\n", value_start);
     if (value_end == std::string::npos) value_end = head.size();
-    if (parse_u64(std::string_view(head).substr(value_start, value_end - value_start),
-                  length)) {
-      content_length = static_cast<std::size_t>(length);
+    if (!parse_u64(trim(std::string_view(head).substr(value_start, value_end - value_start)),
+                   length)) {
+      return kInvalidRequestFraming;  // would silently truncate the body
     }
+    content_length = static_cast<std::size_t>(length);
   }
   return head_end + 4 + content_length;
 }

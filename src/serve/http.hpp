@@ -42,9 +42,16 @@ std::optional<HttpRequest> parse_http_request(std::string_view raw);
 /// Serialize a response to the wire format (adds Content-Length).
 std::string serialize_http_response(const HttpResponse& response);
 
+/// Sentinel returned by expected_request_length for a head whose framing
+/// cannot be trusted (unparsable or duplicate Content-Length): the caller
+/// must reject the request with 400 rather than guess a body length.
+inline constexpr std::size_t kInvalidRequestFraming = static_cast<std::size_t>(-1);
+
 /// Incremental request reader helper: given the bytes received so far,
 /// returns the total expected length (head + Content-Length) once the
-/// header terminator has arrived, or 0 if more header bytes are needed.
+/// header terminator has arrived, 0 if more header bytes are needed, or
+/// kInvalidRequestFraming if the Content-Length header is present but
+/// invalid (non-numeric, or repeated).
 std::size_t expected_request_length(std::string_view received);
 
 }  // namespace mcb

@@ -3,15 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
-#include <mutex>
 
 namespace mcb {
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 16 * 1024 * 1024;
+using Clock = std::chrono::steady_clock;
 
 bool send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
@@ -23,7 +26,80 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
+bool send_response(int fd, const HttpResponse& response) {
+  return send_all(fd, serialize_http_response(response));
+}
+
+void set_socket_timeout(int fd, int option, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+Json latency_json(const Histogram& log10_us, double sum_us, double max_us,
+                  std::uint64_t count) {
+  Json out = Json::object();
+  out.set("count", static_cast<std::int64_t>(count));
+  out.set("mean", count > 0 ? sum_us / static_cast<double>(count) : 0.0);
+  out.set("max", max_us);
+  out.set("p50", std::pow(10.0, log10_us.quantile(0.50)));
+  out.set("p90", std::pow(10.0, log10_us.quantile(0.90)));
+  out.set("p99", std::pow(10.0, log10_us.quantile(0.99)));
+  return out;
+}
+
 }  // namespace
+
+void ServerStats::record_route(const std::string& route_key, int status,
+                               double seconds) {
+  const double us = std::max(seconds * 1e6, 0.0);
+  std::lock_guard lock(mutex_);
+  RouteStats& rs = routes_[route_key];
+  ++rs.count;
+  if (status >= 500) {
+    ++rs.status_5xx;
+  } else if (status >= 400) {
+    ++rs.status_4xx;
+  } else {
+    ++rs.status_2xx;
+  }
+  rs.sum_us += us;
+  rs.max_us = std::max(rs.max_us, us);
+  rs.log10_us.add(std::log10(std::max(us, 1.0)));
+}
+
+Json ServerStats::to_json() const {
+  Json out = Json::object();
+  out.set("accepted", static_cast<std::int64_t>(accepted.load()));
+  out.set("handled", static_cast<std::int64_t>(handled.load()));
+  out.set("rejected", static_cast<std::int64_t>(rejected.load()));
+  out.set("timed_out", static_cast<std::int64_t>(timed_out.load()));
+  out.set("malformed", static_cast<std::int64_t>(malformed.load()));
+
+  Json routes = Json::object();
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [key, rs] : routes_) {
+      Json entry = Json::object();
+      entry.set("count", static_cast<std::int64_t>(rs.count));
+      Json status = Json::object();
+      status.set("2xx", static_cast<std::int64_t>(rs.status_2xx));
+      status.set("4xx", static_cast<std::int64_t>(rs.status_4xx));
+      status.set("5xx", static_cast<std::int64_t>(rs.status_5xx));
+      entry.set("status", status);
+      entry.set("latency_us", latency_json(rs.log10_us, rs.sum_us, rs.max_us, rs.count));
+      routes.set(key, entry);
+    }
+  }
+  out.set("routes", routes);
+  return out;
+}
+
+HttpServer::HttpServer(ServerConfig config) : config_(config) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -33,22 +109,56 @@ void HttpServer::route(const std::string& method, const std::string& path,
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  const auto started = Clock::now();
   const auto it = routes_.find({request.method, request.path});
+  HttpResponse response;
   if (it != routes_.end()) {
     try {
-      return it->second(request);
+      response = it->second(request);
     } catch (const std::exception& e) {
-      return HttpResponse::json(500, std::string(R"({"error":")") + e.what() + "\"}");
+      response = HttpResponse::json(
+          500, std::string(R"({"error":")") + json_escape(e.what()) + "\"}");
     }
-  }
-  // Distinguish 404 from 405 for better API ergonomics.
-  for (const auto& [key, handler] : routes_) {
-    (void)handler;
-    if (key.second == request.path) {
-      return HttpResponse::json(405, R"({"error":"method not allowed"})");
+  } else {
+    // Distinguish 404 from 405 for better API ergonomics.
+    bool path_exists = false;
+    for (const auto& [key, handler] : routes_) {
+      (void)handler;
+      if (key.second == request.path) {
+        path_exists = true;
+        break;
+      }
     }
+    response = path_exists ? HttpResponse::json(405, R"({"error":"method not allowed"})")
+                           : HttpResponse::json(404, R"({"error":"not found"})");
   }
-  return HttpResponse::json(404, R"({"error":"not found"})");
+  const double seconds = std::chrono::duration<double>(Clock::now() - started).count();
+  const std::string key =
+      it != routes_.end() ? request.method + " " + request.path : "(unmatched)";
+  stats_.record_route(key, response.status, seconds);
+  return response;
+}
+
+Json HttpServer::stats_json() const {
+  const Json stats = stats_.to_json();
+  Json server = Json::object();
+  for (const auto& [key, value] : stats.as_object()) {
+    if (key != "routes") server.set(key, value);
+  }
+  server.set("active_connections", static_cast<std::int64_t>(active_connections()));
+  server.set("worker_threads", static_cast<std::int64_t>(config_.worker_threads));
+  server.set("queue_capacity", static_cast<std::int64_t>(config_.max_pending));
+  server.set("queue_depth",
+             static_cast<std::int64_t>(pool_ != nullptr ? pool_->pending() : 0));
+  Json out = Json::object();
+  out.set("server", server);
+  out.set("routes", stats["routes"]);
+  return out;
+}
+
+std::size_t HttpServer::active_connections() const {
+  std::lock_guard lock(conn_mutex_);
+  return active_fds_.size();
 }
 
 bool HttpServer::start(int port) {
@@ -74,6 +184,7 @@ bool HttpServer::start(int port) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+  pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
@@ -81,17 +192,28 @@ bool HttpServer::start(int port) {
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
+  // Wake the accept loop with shutdown() but keep the fd alive until the
+  // thread is joined: closing here would race the concurrent accept()
+  // (and could hand a recycled fd number to a blocked accept).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(workers_mutex_);
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
+
+  // Drain in-flight connections for the configured budget, then wake any
+  // stragglers out of blocked recv/send via shutdown(). The fd itself is
+  // closed only by the owning worker, so there is no reuse race.
+  {
+    std::unique_lock lock(conn_mutex_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+                       [this] { return active_fds_.empty(); });
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  workers_.clear();
+  // Queued-but-unstarted connections observe running_ == false and shed
+  // immediately, so joining the pool is bounded.
+  pool_.reset();
 }
 
 void HttpServer::accept_loop() {
@@ -99,44 +221,116 @@ void HttpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       continue;
     }
-    std::lock_guard lock(workers_mutex_);
-    // Reap finished workers opportunistically to bound the vector.
-    if (workers_.size() > 64) {
-      for (auto& worker : workers_) {
-        if (worker.joinable()) worker.join();
-      }
-      workers_.clear();
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    set_socket_timeout(fd, SO_RCVTIMEO, config_.recv_timeout_ms);
+    set_socket_timeout(fd, SO_SNDTIMEO, config_.send_timeout_ms);
+
+    std::function<void()> task = [this, fd] { handle_connection(fd); };
+    if (!pool_->try_submit(task, config_.max_pending)) {
+      // Executor saturated: shed load here instead of queueing without
+      // bound. Never block the accept path on worker progress.
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, HttpResponse::json(503, R"({"error":"server overloaded"})"));
+      ::close(fd);
     }
-    workers_.emplace_back([this, fd] { handle_connection(fd); });
   }
 }
 
 void HttpServer::handle_connection(int fd) {
-  std::string received;
-  char buffer[8192];
-  std::size_t expected = 0;
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    received.append(buffer, static_cast<std::size_t>(n));
-    if (received.size() > kMaxRequestBytes) {
-      send_all(fd, serialize_http_response(
-                       HttpResponse::json(400, R"({"error":"request too large"})")));
+  {
+    std::unique_lock lock(conn_mutex_);
+    if (!running_.load()) {
+      // stop() began while this connection sat in the pending queue.
+      lock.unlock();
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, HttpResponse::json(503, R"({"error":"server shutting down"})"));
       ::close(fd);
       return;
     }
-    if (expected == 0) expected = expected_request_length(received);
+    active_fds_.insert(fd);
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_deadline_ms);
+  std::string received;
+  char buffer[8192];
+  std::size_t expected = 0;
+  enum class Outcome { kComplete, kTimeout, kTooLarge, kBadFraming, kClientGone };
+  Outcome outcome = Outcome::kComplete;
+
+  for (;;) {
+    if (Clock::now() >= deadline) {
+      outcome = Outcome::kTimeout;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK: SO_RCVTIMEO expired with the client idle.
+      outcome = (errno == EAGAIN || errno == EWOULDBLOCK) ? Outcome::kTimeout
+                                                          : Outcome::kClientGone;
+      break;
+    }
+    if (n == 0) {  // orderly close (or stop() shut the socket down)
+      outcome = Outcome::kClientGone;
+      break;
+    }
+    received.append(buffer, static_cast<std::size_t>(n));
+    if (received.size() > config_.max_request_bytes) {
+      outcome = Outcome::kTooLarge;
+      break;
+    }
+    if (expected == 0) {
+      expected = expected_request_length(received);
+      if (expected == kInvalidRequestFraming) {
+        outcome = Outcome::kBadFraming;
+        break;
+      }
+    }
     if (expected != 0 && received.size() >= expected) break;
   }
 
-  const auto request = parse_http_request(received);
-  const HttpResponse response =
-      request.has_value()
-          ? dispatch(*request)
-          : HttpResponse::json(400, R"({"error":"malformed request"})");
-  send_all(fd, serialize_http_response(response));
+  switch (outcome) {
+    case Outcome::kComplete: {
+      const auto request = parse_http_request(received);
+      if (request.has_value()) {
+        if (send_response(fd, dispatch(*request))) {
+          stats_.handled.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        send_response(fd, HttpResponse::json(400, R"({"error":"malformed request"})"));
+      }
+      break;
+    }
+    case Outcome::kTimeout:
+      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, HttpResponse::json(408, R"({"error":"request timeout"})"));
+      break;
+    case Outcome::kTooLarge:
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, HttpResponse::json(413, R"({"error":"request too large"})"));
+      break;
+    case Outcome::kBadFraming:
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd,
+                    HttpResponse::json(400, R"({"error":"invalid content-length"})"));
+      break;
+    case Outcome::kClientGone:
+      if (!received.empty()) {
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+
+  {
+    std::lock_guard lock(conn_mutex_);
+    active_fds_.erase(fd);
+    if (active_fds_.empty()) drain_cv_.notify_all();
+  }
   ::close(fd);
 }
 

@@ -1,59 +1,136 @@
-// Threaded TCP HTTP server with a path-based router. Listens on
-// 127.0.0.1, one worker thread per accepted connection (connections are
-// short-lived: Connection: close). Port 0 binds an ephemeral port —
-// tests read the bound port back.
+// Threaded TCP HTTP server with a path-based router, built on a bounded
+// connection executor. Listens on 127.0.0.1; accepted sockets are
+// dispatched to a fixed-size worker pool with a bounded pending queue —
+// when the pool is saturated the accept loop sheds load with an
+// immediate 503 instead of queueing without bound. Connections are
+// short-lived (Connection: close) and carry receive/send socket
+// timeouts plus an overall per-request deadline, so a client that
+// connects and sends nothing (or drips bytes forever) is cut off at the
+// deadline rather than pinning a worker. stop() is graceful: it stops
+// accepting, drains in-flight connections for a bounded time, then
+// force-closes stragglers. Port 0 binds an ephemeral port — tests read
+// the bound port back.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_set>
+#include <condition_variable>
 
 #include "serve/http.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcb {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// Tuning knobs for the connection executor. The defaults are sized for
+/// the test/demo deployments; production front-ends raise worker_threads
+/// and max_pending together.
+struct ServerConfig {
+  std::size_t worker_threads = 8;     ///< fixed pool size (>= 1)
+  std::size_t max_pending = 64;       ///< queued connections beyond busy workers
+  int recv_timeout_ms = 5000;         ///< per-recv idle timeout (SO_RCVTIMEO)
+  int send_timeout_ms = 5000;         ///< per-send stall timeout (SO_SNDTIMEO)
+  int request_deadline_ms = 10000;    ///< whole-request wall-clock budget
+  int drain_timeout_ms = 2000;        ///< stop(): budget to drain in-flight work
+  std::size_t max_request_bytes = 16 * 1024 * 1024;  ///< 413 beyond this
+};
+
+/// Server-side observability counters, exported as JSON by GET /metrics.
+/// Counter updates are lock-free atomics; per-route latency histograms
+/// (log10 microseconds on util/histogram) take a short mutex.
+class ServerStats {
+ public:
+  std::atomic<std::uint64_t> accepted{0};       ///< sockets accept()ed
+  std::atomic<std::uint64_t> handled{0};        ///< responses fully written
+  std::atomic<std::uint64_t> rejected{0};       ///< shed with 503 (queue full / draining)
+  std::atomic<std::uint64_t> timed_out{0};      ///< cut off at a deadline (408)
+  std::atomic<std::uint64_t> malformed{0};      ///< unparsable / bad framing (400, 413)
+
+  /// Record one dispatched request: per-route count, status class and
+  /// handler latency. Unmatched routes aggregate under "(unmatched)" so
+  /// abusive path scans cannot grow the map without bound.
+  void record_route(const std::string& route_key, int status, double seconds);
+
+  /// Snapshot all counters/histograms as the /metrics JSON body.
+  Json to_json() const;
+
+ private:
+  struct RouteStats {
+    std::uint64_t count = 0;
+    std::uint64_t status_2xx = 0, status_4xx = 0, status_5xx = 0;
+    double sum_us = 0.0, max_us = 0.0;
+    // log10(latency in us) over [1us, 100s) — wide enough for /train.
+    Histogram log10_us{0.0, 8.0, 32};
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, RouteStats> routes_;
+};
+
 class HttpServer {
  public:
-  HttpServer() = default;
+  explicit HttpServer(ServerConfig config = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Register a handler for (method, exact path). Must be called before
-  /// start().
+  /// start(); the routing table is read-only while serving.
   void route(const std::string& method, const std::string& path, HttpHandler handler);
 
-  /// Bind + listen + spawn the accept loop. Returns false on bind
-  /// failure. Thread-safe to call once.
+  /// Bind + listen + spawn the worker pool and accept loop. Returns
+  /// false on bind failure. Thread-safe to call once per stop() cycle.
   bool start(int port);
 
-  /// Stop accepting, close the listener and join workers.
+  /// Graceful shutdown: stop accepting, drain in-flight connections for
+  /// up to config().drain_timeout_ms, force-close stragglers, join the
+  /// pool. Bounded: returns within roughly the drain budget plus one
+  /// socket timeout even with hung clients attached.
   void stop();
 
   bool is_running() const noexcept { return running_.load(); }
   int port() const noexcept { return port_; }
+  const ServerConfig& config() const noexcept { return config_; }
+  ServerStats& stats() noexcept { return stats_; }
+
+  /// Connections currently being served (racy snapshot, for /metrics).
+  std::size_t active_connections() const;
 
   /// Dispatch a request through the routing table without any sockets
-  /// (used by unit tests and by in-process clients).
+  /// (used by unit tests and by in-process clients). Records per-route
+  /// stats exactly like the socket path.
   HttpResponse dispatch(const HttpRequest& request) const;
+
+  /// The /metrics payload: executor state + ServerStats snapshot.
+  Json stats_json() const;
 
  private:
   void accept_loop();
   void handle_connection(int fd);
 
+  ServerConfig config_;
   std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::mutex workers_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex conn_mutex_;          // guards active_fds_
+  std::condition_variable drain_cv_;       // signalled when active_fds_ empties
+  std::unordered_set<int> active_fds_;
+
+  mutable ServerStats stats_;
 };
 
 /// Blocking loopback HTTP client for tests/examples: send one request to

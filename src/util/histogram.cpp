@@ -32,6 +32,22 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
   return bin_lo(bin + 1);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target && counts_[b] > 0) {
+      const double within = (target - cumulative) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + (bin_hi(b) - bin_lo(b)) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
 std::string Histogram::render(int width) const {
   std::uint64_t max_count = 1;
   for (const auto c : counts_) max_count = std::max(max_count, c);

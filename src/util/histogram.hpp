@@ -23,6 +23,12 @@ class Histogram {
   double bin_lo(std::size_t bin) const noexcept;
   double bin_hi(std::size_t bin) const noexcept;
 
+  /// Value below which a fraction q of the samples fall, linearly
+  /// interpolated inside the containing bin (q clamped to [0, 1]).
+  /// Returns lo() for an empty histogram. Upper-bounded by hi(): samples
+  /// clamped into the edge bins report the bin edge, not their raw value.
+  double quantile(double q) const noexcept;
+
   /// Render as rows of "[lo, hi) count ######" bars scaled to `width`.
   std::string render(int width = 50) const;
 

@@ -32,6 +32,26 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+bool ThreadPool::try_submit(std::function<void()>& task, std::size_t max_pending) {
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.size() + in_flight_ >= workers_.size() + max_pending) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

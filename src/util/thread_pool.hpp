@@ -35,8 +35,21 @@ class ThreadPool {
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
+  /// Bounded enqueue: accepts only while the total work in the pool
+  /// (queued + executing) is below size() + max_pending, i.e. max_pending
+  /// is the backlog allowed beyond one task per worker. max_pending == 0
+  /// admits a task only when a worker is free to take it immediately.
+  /// Returns false (task untouched) when the pool is saturated — the
+  /// load-shedding primitive used by the HTTP connection executor.
+  bool try_submit(std::function<void()>& task, std::size_t max_pending);
+
   /// Block until every submitted task has finished executing.
   void wait_idle();
+
+  /// Tasks queued but not yet picked up by a worker (racy snapshot).
+  std::size_t pending() const;
+  /// Tasks currently executing (racy snapshot).
+  std::size_t in_flight() const;
 
   /// Process-wide default pool (lazily constructed, sized to the machine).
   static ThreadPool& global();
@@ -46,7 +59,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

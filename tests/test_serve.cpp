@@ -1,8 +1,16 @@
-// Tests for the serve module: HTTP parsing/serialization, the server's
-// socket round trip, and the MCBound JSON API endpoints.
+// Tests for the serve module: HTTP parsing/serialization, the bounded
+// connection executor (timeouts, load shedding, graceful shutdown), the
+// /metrics surface, and the MCBound JSON API endpoints.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
+#include <future>
 
 #include "serve/api.hpp"
 #include "serve/http.hpp"
@@ -13,6 +21,47 @@ namespace mcb {
 namespace {
 
 namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Raw loopback socket for misbehaving-client tests (http_request always
+// sends a complete request, which is exactly what these tests must not do).
+int connect_raw(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Read until the server closes (or the 5 s client timeout trips).
+std::string read_until_closed(int fd) {
+  std::string received;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  return received;
+}
+
+int parse_status(const std::string& wire) {
+  const std::size_t sp = wire.find(' ');
+  if (sp == std::string::npos) return -1;
+  return std::atoi(wire.c_str() + sp + 1);
+}
 
 // ------------------------------------------------------------- parsing
 
@@ -61,6 +110,25 @@ TEST(HttpParse, IncompleteBodyIsRejected) {
   EXPECT_FALSE(parse_http_request(raw).has_value());
 }
 
+TEST(HttpParse, RejectsExtraSpacesInRequestLine) {
+  // find/rfind splitting used to accept this with path "/a b".
+  EXPECT_FALSE(parse_http_request("GET /a b HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET  /a HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET /a HTTP/1.1 \r\n\r\n").has_value());
+  EXPECT_TRUE(parse_http_request("GET /a HTTP/1.1\r\n\r\n").has_value());
+}
+
+TEST(HttpParse, RejectsDuplicateContentLength) {
+  // emplace used to silently keep the first value (smuggling vector).
+  const std::string raw =
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nabcd";
+  EXPECT_FALSE(parse_http_request(raw).has_value());
+  // Other duplicate headers remain first-wins, not fatal.
+  const auto ok = parse_http_request("GET / HTTP/1.1\r\nX-A: 1\r\nX-A: 2\r\n\r\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->headers.at("x-a"), "1");
+}
+
 TEST(HttpSerialize, ResponseWireFormat) {
   HttpResponse response = HttpResponse::json(404, "{}");
   const std::string wire = serialize_http_response(response);
@@ -75,6 +143,18 @@ TEST(HttpSerialize, ExpectedRequestLength) {
   EXPECT_EQ(expected_request_length(head), head.size());
   const std::string with_body = "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\n";
   EXPECT_EQ(expected_request_length(with_body), with_body.size() + 5);
+}
+
+TEST(HttpSerialize, InvalidContentLengthFramingIsFlagged) {
+  // Unparsable Content-Length used to fall through to "no body", silently
+  // truncating the request instead of rejecting it.
+  EXPECT_EQ(expected_request_length("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            kInvalidRequestFraming);
+  EXPECT_EQ(expected_request_length("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            kInvalidRequestFraming);
+  EXPECT_EQ(expected_request_length(
+                "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\n"),
+            kInvalidRequestFraming);
 }
 
 // ------------------------------------------------------------- routing
@@ -100,6 +180,21 @@ TEST(HttpServer, HandlerExceptionsBecome500) {
   const auto response = server.dispatch(request);
   EXPECT_EQ(response.status, 500);
   EXPECT_NE(response.body.find("bad"), std::string::npos);
+}
+
+TEST(HttpServer, HandlerExceptionMessageIsJsonEscaped) {
+  // A what() containing quotes/backslashes used to splice raw into the
+  // 500 body and produce malformed JSON.
+  HttpServer server;
+  server.route("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error(R"(bad "quote" and \backslash)");
+  });
+  HttpRequest request{"GET", "/boom", "", {}, ""};
+  const auto response = server.dispatch(request);
+  EXPECT_EQ(response.status, 500);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value()) << response.body;
+  EXPECT_EQ((*json)["error"].as_string(), R"(bad "quote" and \backslash)");
 }
 
 TEST(HttpServer, SocketRoundTrip) {
@@ -142,6 +237,168 @@ TEST(HttpServer, ConcurrentRequests) {
   for (auto& c : clients) c.join();
   EXPECT_EQ(ok_count.load(), 8);
   server.stop();
+}
+
+// ------------------------------------------------- connection executor
+
+TEST(HttpServer, SlowClientTimesOutAndStopIsPrompt) {
+  // Regression: a client that connects and sends nothing used to pin a
+  // worker in recv() forever and make stop() hang in join().
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.recv_timeout_ms = 100;
+  config.request_deadline_ms = 400;
+  config.drain_timeout_ms = 1000;
+  HttpServer server(config);
+  server.route("GET", "/n",
+               [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  ASSERT_TRUE(server.start(0));
+
+  const int fd = connect_raw(server.port());
+  ASSERT_GE(fd, 0);
+  const auto started = Clock::now();
+  const std::string wire = read_until_closed(fd);  // send nothing
+  ::close(fd);
+  EXPECT_EQ(parse_status(wire), 408);
+  EXPECT_LT(seconds_since(started), 2.0);
+  EXPECT_GE(server.stats().timed_out.load(), 1U);
+
+  const auto stop_started = Clock::now();
+  server.stop();
+  EXPECT_LT(seconds_since(stop_started), 1.5);
+  EXPECT_FALSE(server.is_running());
+}
+
+TEST(HttpServer, PartialRequestTimesOut) {
+  ServerConfig config;
+  config.recv_timeout_ms = 100;
+  config.request_deadline_ms = 400;
+  HttpServer server(config);
+  ASSERT_TRUE(server.start(0));
+  const int fd = connect_raw(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string partial = "GET /n";  // no header terminator, ever
+  ASSERT_GT(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL), 0);
+  const auto started = Clock::now();
+  const std::string wire = read_until_closed(fd);
+  ::close(fd);
+  EXPECT_EQ(parse_status(wire), 408);
+  EXPECT_LT(seconds_since(started), 2.0);
+  server.stop();
+}
+
+TEST(HttpServer, InvalidContentLengthIsImmediate400) {
+  // Must be rejected as soon as the head arrives — not parsed with a
+  // truncated body and not held until a timeout.
+  ServerConfig config;
+  config.recv_timeout_ms = 2000;  // large: the 400 must not wait for it
+  HttpServer server(config);
+  server.route("POST", "/n",
+               [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  ASSERT_TRUE(server.start(0));
+  const int fd = connect_raw(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string raw = "POST /n HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  ASSERT_GT(::send(fd, raw.data(), raw.size(), MSG_NOSIGNAL), 0);
+  const auto started = Clock::now();
+  const std::string wire = read_until_closed(fd);
+  ::close(fd);
+  EXPECT_EQ(parse_status(wire), 400);
+  EXPECT_LT(seconds_since(started), 1.0);
+  EXPECT_GE(server.stats().malformed.load(), 1U);
+  server.stop();
+}
+
+TEST(HttpServer, QueueFullSheds503) {
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.max_pending = 0;  // admit only when the one worker is idle
+  HttpServer server(config);
+  std::promise<void> release;
+  const std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> entered{false};
+  server.route("GET", "/block", [&](const HttpRequest&) {
+    entered.store(true);
+    released.wait();
+    return HttpResponse::json(200, "{}");
+  });
+  ASSERT_TRUE(server.start(0));
+
+  std::thread blocker([&] {
+    int status = 0;
+    std::string body;
+    http_request(server.port(), "GET", "/block", "", status, body);
+    EXPECT_EQ(status, 200);
+  });
+  while (!entered.load()) std::this_thread::yield();
+
+  // The single worker is pinned and the queue holds nothing: shed.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(http_request(server.port(), "GET", "/block", "", status, body));
+  EXPECT_EQ(status, 503);
+  EXPECT_GE(server.stats().rejected.load(), 1U);
+
+  release.set_value();
+  blocker.join();
+  server.stop();
+}
+
+TEST(HttpServer, StopUnderLoadCompletesWithinDrainDeadline) {
+  ServerConfig config;
+  config.worker_threads = 4;
+  config.drain_timeout_ms = 1500;
+  HttpServer server(config);
+  server.route("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return HttpResponse::json(200, "{}");
+  });
+  ASSERT_TRUE(server.start(0));
+
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&server] {
+      int status = 0;
+      std::string body;
+      http_request(server.port(), "GET", "/slow", "", status, body);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // some in flight
+
+  const auto stop_started = Clock::now();
+  server.stop();
+  EXPECT_LT(seconds_since(stop_started), 3.0);
+  EXPECT_FALSE(server.is_running());
+  for (auto& c : clients) c.join();
+}
+
+TEST(HttpServer, StatsCountersAndMetricsJson) {
+  HttpServer server;
+  server.route("GET", "/n",
+               [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  ASSERT_TRUE(server.start(0));
+  int status = 0;
+  std::string body;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(http_request(server.port(), "GET", "/n", "", status, body));
+    EXPECT_EQ(status, 200);
+  }
+  ASSERT_TRUE(http_request(server.port(), "GET", "/missing", "", status, body));
+  EXPECT_EQ(status, 404);
+  server.stop();
+
+  EXPECT_GE(server.stats().accepted.load(), 4U);
+  EXPECT_GE(server.stats().handled.load(), 4U);
+
+  const Json metrics = server.stats_json();
+  EXPECT_GE(metrics["server"]["accepted"].as_int(), 4);
+  EXPECT_EQ(metrics["server"]["worker_threads"].as_int(), 8);
+  const Json& route = metrics["routes"]["GET /n"];
+  EXPECT_EQ(route["count"].as_int(), 3);
+  EXPECT_EQ(route["status"]["2xx"].as_int(), 3);
+  EXPECT_GT(route["latency_us"]["p50"].as_double(), 0.0);
+  EXPECT_GT(route["latency_us"]["max"].as_double(), 0.0);
+  EXPECT_EQ(metrics["routes"]["(unmatched)"]["count"].as_int(), 1);
 }
 
 // ----------------------------------------------------- job JSON mapping
@@ -354,6 +611,28 @@ TEST_F(ApiTest, JobsRangeEndpoint) {
   EXPECT_EQ(api_->dispatch(request).status, 400);
 }
 
+TEST_F(ApiTest, MetricsEndpointCountsRequests) {
+  const auto before = call("GET", "/metrics");
+  EXPECT_EQ(before.status, 200);
+  const auto before_json = Json::parse(before.body);
+  ASSERT_TRUE(before_json.has_value());
+  EXPECT_TRUE((*before_json)["server"].is_object());
+
+  call("GET", "/health");
+  call("GET", "/health");
+  call("POST", "/predict", "{not json");
+
+  const auto after_json = Json::parse(call("GET", "/metrics").body);
+  ASSERT_TRUE(after_json.has_value());
+  const Json& health = (*after_json)["routes"]["GET /health"];
+  EXPECT_EQ(health["count"].as_int(), 2);
+  EXPECT_EQ(health["status"]["2xx"].as_int(), 2);
+  EXPECT_GE(health["latency_us"]["mean"].as_double(), 0.0);
+  EXPECT_EQ((*after_json)["routes"]["POST /predict"]["status"]["4xx"].as_int(), 1);
+  // The metrics route observes itself too.
+  EXPECT_GE((*after_json)["routes"]["GET /metrics"]["count"].as_int(), 1);
+}
+
 TEST_F(ApiTest, EndToEndOverSockets) {
   ASSERT_TRUE(api_->start(0));
   int status = 0;
@@ -367,6 +646,12 @@ TEST_F(ApiTest, EndToEndOverSockets) {
   ASSERT_TRUE(http_request(api_->port(), "POST", "/predict",
                            R"({"job_name":"stream_app","user_name":"u1"})", status, body));
   EXPECT_EQ(status, 200);
+  ASSERT_TRUE(http_request(api_->port(), "GET", "/metrics", "", status, body));
+  EXPECT_EQ(status, 200);
+  const auto metrics = Json::parse(body);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_GE((*metrics)["server"]["accepted"].as_int(), 4);
+  EXPECT_GE((*metrics)["server"]["handled"].as_int(), 3);
   api_->stop();
 }
 

@@ -5,8 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
+#include <future>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -601,6 +604,24 @@ TEST(Histogram, WeightedAdd) {
   EXPECT_EQ(h.total(), 10U);
 }
 
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  // Uniform over [0, 10): quantiles track q * 10 to within one bin.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 1.0);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileSingleBin) {
+  Histogram h(0.0, 8.0, 4);
+  h.add(3.0, 10);  // everything in bin [2, 4)
+  EXPECT_GE(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+}
+
 TEST(Histogram, RenderContainsCounts) {
   Histogram h(0.0, 1.0, 2);
   h.add(0.1, 3);
@@ -698,6 +719,34 @@ TEST(ThreadPool, WaitIdleOnEmptyPool) {
   ThreadPool pool(1);
   pool.wait_idle();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPool, TrySubmitShedsWhenSaturated) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  const std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> entered{false};
+
+  std::function<void()> blocker = [&] {
+    entered.store(true);
+    released.wait();
+  };
+  ASSERT_TRUE(pool.try_submit(blocker, 0));  // worker idle: admitted
+  while (!entered.load()) std::this_thread::yield();
+
+  std::function<void()> task = [] {};
+  EXPECT_FALSE(pool.try_submit(task, 0));  // worker busy, no backlog allowed
+  EXPECT_TRUE(task != nullptr);            // rejected task is left intact
+  EXPECT_TRUE(pool.try_submit(task, 1));   // one queued slot allowed
+  task = [] {};
+  EXPECT_FALSE(pool.try_submit(task, 1));  // backlog slot now occupied
+  EXPECT_EQ(pool.pending(), 1U);
+  EXPECT_EQ(pool.in_flight(), 1U);
+
+  release.set_value();
+  pool.wait_idle();
+  EXPECT_TRUE(pool.try_submit(task, 0));  // idle again
+  pool.wait_idle();
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {

@@ -11,6 +11,7 @@
 //   mcbound characterize --trace trace.csv --extended true
 //   mcbound evaluate --trace trace.csv --model rf --alpha 15 --beta 1
 //   mcbound serve --trace trace.csv --port 8080
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -35,7 +36,9 @@ constexpr const char* kUsage =
     "  characterize --trace FILE [--extended true]\n"
     "  evaluate     --trace FILE [--model knn|rf] [--alpha A] [--beta B]\n"
     "               [--theta N --sampling latest|random]\n"
-    "  serve        --trace FILE [--port P] [--alpha A] [--model knn|rf]\n";
+    "  serve        --trace FILE [--port P] [--alpha A] [--model knn|rf]\n"
+    "               [--http-threads N] [--http-queue N] [--timeout-ms MS]\n"
+    "               [--drain-ms MS]\n";
 
 bool load_trace(const CliFlags& flags, JobStore& store) {
   const std::string path = flags.get("trace", "");
@@ -171,8 +174,20 @@ int cmd_serve(const CliFlags& flags) {
   config.forest.tree.max_features = 48;
   config.registry_dir = flags.get("registry", "mcbound-models");
 
+  ServerConfig server;
+  server.worker_threads = static_cast<std::size_t>(
+      flags.get_int("http-threads", static_cast<std::int64_t>(server.worker_threads)));
+  server.max_pending = static_cast<std::size_t>(
+      flags.get_int("http-queue", static_cast<std::int64_t>(server.max_pending)));
+  const int timeout_ms =
+      static_cast<int>(flags.get_int("timeout-ms", server.request_deadline_ms));
+  server.request_deadline_ms = timeout_ms;
+  server.recv_timeout_ms = std::min(server.recv_timeout_ms, timeout_ms);
+  server.send_timeout_ms = std::min(server.send_timeout_ms, timeout_ms);
+  server.drain_timeout_ms = static_cast<int>(flags.get_int("drain-ms", server.drain_timeout_ms));
+
   static Framework framework(config, store);
-  static ApiServer api(framework);
+  static ApiServer api(framework, server);
   const int port = static_cast<int>(flags.get_int("port", 8080));
   if (!api.start(port)) {
     std::fprintf(stderr, "failed to bind port %d\n", port);
@@ -180,7 +195,10 @@ int cmd_serve(const CliFlags& flags) {
   }
   std::printf("MCBound API on http://127.0.0.1:%d (model %s, alpha %d)\n", api.port(),
               framework.model_name().c_str(), config.alpha_days);
-  std::printf("POST /train to build the first model version; Ctrl-C to stop.\n");
+  std::printf("executor: %zu workers, %zu pending, %d ms request deadline\n",
+              server.worker_threads, server.max_pending, server.request_deadline_ms);
+  std::printf("POST /train to build the first model version; GET /metrics for\n"
+              "server-side counters and latency; Ctrl-C to stop.\n");
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
 
@@ -195,7 +213,8 @@ int main(int argc, char** argv) {
   const auto flags = CliFlags::parse(
       argc - 1, argv + 1,
       {"out", "trace", "jobs-per-day", "seed", "extended", "model", "alpha", "beta",
-       "theta", "sampling", "port", "registry"},
+       "theta", "sampling", "port", "registry", "http-threads", "http-queue",
+       "timeout-ms", "drain-ms"},
       kUsage);
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;
