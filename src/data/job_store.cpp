@@ -25,7 +25,7 @@ std::string JobQuery::to_sql() const {
 }
 
 bool JobStore::insert(JobRecord job) {
-  if (id_index_.count(job.job_id) > 0) return false;
+  if (id_index_.contains(job.job_id)) return false;
   if (!jobs_.empty() && sorted_) {
     const JobRecord& last = jobs_.back();
     if (job.end_time < last.end_time ||
@@ -141,6 +141,10 @@ bool JobStore::load_csv(const std::string& path, std::string* error) {
     if (error != nullptr) *error = "cannot open " + path;
     return false;
   }
+  return load_csv(in, error);
+}
+
+bool JobStore::load_csv(std::istream& in, std::string* error) {
   jobs_.clear();
   id_index_.clear();
   sorted_ = true;
@@ -150,7 +154,7 @@ bool JobStore::load_csv(const std::string& path, std::string* error) {
   CsvReader reader(in);
   std::vector<std::string> fields;
   if (!reader.next_row(fields) || fields != job_csv_header()) {
-    if (error != nullptr) *error = "missing or mismatched CSV header in " + path;
+    if (error != nullptr) *error = "missing or mismatched CSV header";
     return false;
   }
   std::size_t line = 1;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <string>
@@ -70,8 +71,13 @@ class JobStore {
   /// CSV persistence. save() writes header + one row per record;
   /// load() replaces the store contents. Both return false on I/O or
   /// parse failure (load leaves a partially-filled store on failure).
+  /// Malformed input (truncated rows, non-numeric fields, duplicate job
+  /// ids, mismatched header) is always reported through `error` with the
+  /// offending data row — never an abort or exception.
   bool save_csv(const std::string& path) const;
   bool load_csv(const std::string& path, std::string* error = nullptr);
+  /// Stream variant of load_csv (used directly by the fuzz harness).
+  bool load_csv(std::istream& in, std::string* error = nullptr);
 
  private:
   void ensure_sorted() const;

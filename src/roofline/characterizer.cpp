@@ -1,7 +1,5 @@
 #include "roofline/characterizer.hpp"
 
-#include <limits>
-
 namespace mcb {
 
 MachineSpec fugaku_node_spec() {
@@ -37,7 +35,10 @@ std::optional<JobMetrics> Characterizer::compute_metrics(const JobRecord& job) c
   JobMetrics m;
   m.flops = flops_from_counters(job, model_);
   m.moved_bytes = moved_bytes_from_counters(job, model_);
-  if (m.flops < 0.0 || m.moved_bytes < 0.0) return std::nullopt;
+  if (!(m.flops >= 0.0) || !(m.moved_bytes >= 0.0)) return std::nullopt;  // also rejects NaN
+  // No counter activity at all: the job did no measurable work, so Eq. 3
+  // is 0/0 — uncharacterizable rather than arbitrarily labelled.
+  if (m.flops == 0.0 && m.moved_bytes == 0.0) return std::nullopt;
 
   const double node_seconds = static_cast<double>(duration) *
                               static_cast<double>(job.nodes_allocated);
@@ -45,7 +46,7 @@ std::optional<JobMetrics> Characterizer::compute_metrics(const JobRecord& job) c
   m.bandwidth_gbs = m.moved_bytes / node_seconds / 1e9;      // Eq. 2
   m.operational_intensity =
       m.bandwidth_gbs > 0.0 ? m.performance_gflops / m.bandwidth_gbs  // Eq. 3
-                            : std::numeric_limits<double>::infinity();
+                            : kPureComputeIntensity;  // zero traffic: documented sentinel
   return m;
 }
 

@@ -28,6 +28,14 @@ inline const char* boundedness_name(Boundedness b) noexcept {
 /// Parse "memory-bound"/"compute-bound" (also accepts "memory"/"compute").
 std::optional<Boundedness> parse_boundedness(const std::string& text);
 
+/// Operational intensity reported for jobs with measured floating-point
+/// work but zero measured memory traffic ("pure compute"). Eq. 3 would
+/// divide by zero; instead of returning +inf (which poisons downstream
+/// log10/binning arithmetic and trips UBSan's float checks) we report
+/// this finite sentinel. It sits far above any physical ridge point
+/// (Fugaku's is ~3.3 F/B), so such jobs always classify compute-bound.
+inline constexpr double kPureComputeIntensity = 1e9;
+
 /// Derived per-job metrics, normalized to a single node (Eq. 1-3).
 struct JobMetrics {
   double flops = 0.0;               ///< total FP64 operations (Eq. 4)
@@ -61,9 +69,11 @@ class Characterizer {
   const MachineSpec& spec() const noexcept { return spec_; }
   double ridge_point() const noexcept { return ridge_point_; }
 
-  /// Eq. 1-5. Jobs with non-positive duration or node count yield
-  /// std::nullopt (cannot be characterized); jobs with zero memory
-  /// traffic get op = +inf (pure compute).
+  /// Eq. 1-5. Jobs with non-positive duration or node count — or with no
+  /// counter activity at all (zero flops AND zero memory traffic) — yield
+  /// std::nullopt (cannot be characterized). Jobs with flops but zero
+  /// memory traffic get op = kPureComputeIntensity (documented finite
+  /// sentinel; labels compute-bound).
   std::optional<JobMetrics> compute_metrics(const JobRecord& job) const;
 
   /// Label a single job; nullopt when metrics are undefined.

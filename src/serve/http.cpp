@@ -112,6 +112,11 @@ std::size_t expected_request_length(std::string_view received) {
                    length)) {
       return kInvalidRequestFraming;  // would silently truncate the body
     }
+    // Guard the head + 4 + length sum against size_t wraparound: a hostile
+    // Content-Length near SIZE_MAX would otherwise alias the "complete"
+    // or sentinel values. Anything above 1 GiB is rejected here; the
+    // server's own body cap is far smaller.
+    if (length > (std::size_t{1} << 30)) return kInvalidRequestFraming;
     content_length = static_cast<std::size_t>(length);
   }
   return head_end + 4 + content_length;

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/strings.hpp"
+
 namespace mcb {
 namespace {
 
@@ -372,7 +374,14 @@ bool http_request(int port, const std::string& method, const std::string& path,
   const std::string status_line = received.substr(0, line_end);
   const std::size_t sp = status_line.find(' ');
   if (sp == std::string::npos) return false;
-  status_out = std::atoi(status_line.c_str() + sp + 1);
+  // atoi() has no error reporting (cert-err34-c); parse the 3-digit code
+  // strictly and fail on anything non-numeric.
+  std::string_view code = std::string_view(status_line).substr(sp + 1);
+  const std::size_t code_end = code.find(' ');
+  if (code_end != std::string_view::npos) code = code.substr(0, code_end);
+  std::int64_t status = 0;
+  if (!parse_i64(code, status) || status < 100 || status > 599) return false;
+  status_out = static_cast<int>(status);
   body_out = received.substr(head_end + 4);
   return true;
 }

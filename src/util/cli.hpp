@@ -20,7 +20,7 @@ class CliFlags {
                                        const std::vector<std::string>& known_flags,
                                        const std::string& usage);
 
-  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  bool has(const std::string& name) const { return values_.contains(name); }
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;

@@ -11,14 +11,26 @@ namespace mcb {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(bins, 1), 0) {}
 
+namespace {
+
+// Clamp-then-cast: converting a double that is NaN or outside the target
+// range to an integer is UB (UBSan float-cast-overflow), so the clamp must
+// happen in the floating-point domain. NaN maps to bin 0.
+std::size_t clamped_bin(double scaled, std::size_t bins) noexcept {
+  const double max_bin = static_cast<double>(bins) - 1.0;
+  const double clamped = std::isnan(scaled) ? 0.0 : std::clamp(scaled, 0.0, max_bin);
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace
+
 void Histogram::add(double x, std::uint64_t weight) noexcept {
   const double span = hi_ - lo_;
   std::size_t bin = 0;
   if (span > 0) {
     const double frac = (x - lo_) / span;
-    const auto idx = static_cast<std::ptrdiff_t>(std::floor(frac * static_cast<double>(counts_.size())));
-    bin = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
-        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+    bin = clamped_bin(std::floor(frac * static_cast<double>(counts_.size())),
+                      counts_.size());
   }
   counts_[bin] += weight;
   total_ += weight;
@@ -73,20 +85,19 @@ LogGrid2D::LogGrid2D(double x_lo, double x_hi, std::size_t x_bins,
       cells_(x_bins_ * y_bins_, 0) {}
 
 std::size_t LogGrid2D::x_index(double x) const noexcept {
-  const double lx = std::log10(std::max(x, 1e-30));
-  const double frac = (lx - x_lo_) / (x_hi_ - x_lo_);
-  const auto idx = static_cast<std::ptrdiff_t>(std::floor(frac * static_cast<double>(x_bins_)));
-  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(x_bins_) - 1));
+  // max() also normalizes NaN to the floor value: max(NaN, c) returns c
+  // only when the comparison is false-ordered, so clamp explicitly.
+  const double safe = std::isnan(x) ? 1e-30 : std::clamp(x, 1e-30, 1e300);
+  const double frac = (std::log10(safe) - x_lo_) / (x_hi_ - x_lo_);
+  return clamped_bin(std::floor(frac * static_cast<double>(x_bins_)), x_bins_);
 }
 
 void LogGrid2D::add(double x, double y) noexcept {
   const std::size_t xb = x_index(x);
-  const double ly = std::log10(std::max(y, 1e-30));
-  const double yfrac = (ly - y_lo_) / (y_hi_ - y_lo_);
-  const auto yi = static_cast<std::ptrdiff_t>(std::floor(yfrac * static_cast<double>(y_bins_)));
-  const std::size_t yb = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
-      yi, 0, static_cast<std::ptrdiff_t>(y_bins_) - 1));
+  const double safe_y = std::isnan(y) ? 1e-30 : std::clamp(y, 1e-30, 1e300);
+  const double yfrac = (std::log10(safe_y) - y_lo_) / (y_hi_ - y_lo_);
+  const std::size_t yb =
+      clamped_bin(std::floor(yfrac * static_cast<double>(y_bins_)), y_bins_);
   ++cells_[yb * x_bins_ + xb];
   ++total_;
 }

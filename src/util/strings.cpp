@@ -45,11 +45,11 @@ std::string to_lower(std::string_view text) {
 }
 
 bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+  return text.starts_with(prefix);
 }
 
 bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+  return text.ends_with(suffix);
 }
 
 std::string format_double(double value, int precision) {
@@ -59,7 +59,10 @@ std::string format_double(double value, int precision) {
 }
 
 std::string with_thousands(std::int64_t value) {
-  std::string digits = std::to_string(value < 0 ? -value : value);
+  // Negate in unsigned space: -INT64_MIN overflows int64_t (UB).
+  const std::uint64_t magnitude =
+      value < 0 ? ~static_cast<std::uint64_t>(value) + 1 : static_cast<std::uint64_t>(value);
+  std::string digits = std::to_string(magnitude);
   std::string out;
   const std::size_t n = digits.size();
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,0 +1,84 @@
+// Shared driver for the deterministic fuzz-style property harnesses.
+//
+// Each harness defines
+//     int mcb_fuzz_one(const std::uint8_t* data, std::size_t size);
+// returning 0 (the libFuzzer convention) and aborting (assert/abort) on
+// any property violation. Two build modes share that entry point:
+//
+//   * default (plain ctest): this header provides a main() that replays
+//     every file in the corpus directories passed as argv — a fully
+//     deterministic regression run, no fuzzer runtime required.
+//   * -DMCB_FUZZ=ON (Clang): compiled with -fsanitize=fuzzer; libFuzzer
+//     provides main() and LLVMFuzzerTestOneInput forwards to the same
+//     callback, so coverage-guided exploration exercises exactly the
+//     code the replay mode regression-tests.
+//
+// New crashing inputs found by a fuzzing session are checked into
+// tests/corpus/<harness>/ so the replay mode pins the fix forever.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+int mcb_fuzz_one(const std::uint8_t* data, std::size_t size);
+
+#if defined(MCB_FUZZ)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return mcb_fuzz_one(data, size);
+}
+
+#else  // corpus replay mode
+
+inline std::vector<std::uint8_t> mcb_fuzz_read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path root = argv[i];
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      // Sorted traversal so failures reproduce at a stable index.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(root)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        const auto bytes = mcb_fuzz_read_file(file);
+        std::fprintf(stderr, "replay %s (%zu bytes)\n", file.c_str(), bytes.size());
+        mcb_fuzz_one(bytes.data(), bytes.size());
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(root, ec)) {
+      const auto bytes = mcb_fuzz_read_file(root);
+      std::fprintf(stderr, "replay %s (%zu bytes)\n", root.c_str(), bytes.size());
+      mcb_fuzz_one(bytes.data(), bytes.size());
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "missing corpus path: %s\n", root.c_str());
+      return 2;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "no corpus inputs found\n");
+    return 2;
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs, all properties held\n", replayed);
+  return 0;
+}
+
+#endif  // MCB_FUZZ

@@ -1,0 +1,79 @@
+// Fuzz/property harness for the CSV layer and the JobStore reader.
+//
+// Properties checked on arbitrary bytes:
+//   P1  csv_parse_line never crashes on any single line.
+//   P2  quote/parse round trip: re-serializing a parsed row with
+//       csv_row() and parsing it again yields the identical fields.
+//   P3  JobStore::load_csv on hostile input never crashes, hangs or
+//       aborts — it either loads or reports a diagnostic through the
+//       error out-parameter.
+//   P4  on successful load every record is findable by id (ids unique)
+//       and a save/reload round trip preserves the record count.
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/job_record.hpp"
+#include "data/job_store.hpp"
+#include "util/csv.hpp"
+#include "tests/fuzz_common.hpp"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_csv: property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int mcb_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  const std::string_view raw =
+      size > 0 ? std::string_view(reinterpret_cast<const char*>(data), size)
+               : std::string_view{};
+
+  // P1/P2 per input line.
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string_view::npos) end = raw.size();
+    const std::string_view line = raw.substr(start, end - start);
+
+    const std::vector<std::string> fields = mcb::csv_parse_line(line);   // P1
+    check(!fields.empty(), "P1 a line always yields at least one field");
+
+    std::string rewritten = mcb::csv_row(fields);                        // P2
+    check(!rewritten.empty() && rewritten.back() == '\n', "P2 csv_row appends newline");
+    rewritten.pop_back();
+    check(mcb::csv_parse_line(rewritten) == fields, "P2 quote/parse round trip");
+
+    if (end == raw.size()) break;
+    start = end + 1;
+  }
+
+  // P3: the JobStore reader on the raw bytes.
+  std::istringstream in{std::string(raw)};
+  mcb::JobStore store;
+  std::string error;
+  const bool loaded = store.load_csv(in, &error);
+  check(loaded || !error.empty(), "P3 failure always carries a diagnostic");
+
+  if (loaded && !store.empty()) {                                        // P4
+    for (const auto& job : store.all()) {
+      const mcb::JobRecord* found = store.find(job.job_id);
+      check(found != nullptr && found->job_id == job.job_id, "P4 id lookup");
+    }
+    std::ostringstream out;
+    mcb::CsvWriter writer(out);
+    writer.write_row(mcb::job_csv_header());
+    for (const auto& job : store.all()) writer.write_row(mcb::job_to_csv(job));
+    std::istringstream again{out.str()};
+    mcb::JobStore reloaded;
+    check(reloaded.load_csv(again, &error), "P4 saved store always reloads");
+    check(reloaded.size() == store.size(), "P4 round trip preserves count");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fuzz/property harness for the HTTP request parser (serve/http).
+//
+// Properties checked on arbitrary bytes:
+//   P1  parse_http_request never crashes, hangs or trips a sanitizer.
+//   P2  parsing is deterministic (same input -> same result).
+//   P3  a successful parse yields a structurally valid request: non-empty
+//       method, absolute path, body bounded by the input size.
+//   P4  expected_request_length is consistent with the header block: it
+//       returns 0 (incomplete), the framing sentinel, or a total length
+//       of at least head+4 that never wraps around.
+//   P5  round trip: serialize_http_response output always re-parses as a
+//       complete message by expected_request_length.
+#include <cstring>
+#include <string_view>
+
+#include "serve/http.hpp"
+#include "tests/fuzz_common.hpp"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_http_parser: property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int mcb_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  const std::string_view raw =
+      size > 0 ? std::string_view(reinterpret_cast<const char*>(data), size)
+               : std::string_view{};
+
+  const auto first = mcb::parse_http_request(raw);   // P1
+  const auto second = mcb::parse_http_request(raw);
+  check(first.has_value() == second.has_value(), "P2 determinism (has_value)");
+
+  if (first.has_value()) {
+    check(!first->method.empty(), "P3 method non-empty");
+    check(!first->path.empty() && first->path[0] == '/', "P3 absolute path");
+    check(first->body.size() <= raw.size(), "P3 body bounded by input");
+    check(first->method == second->method && first->path == second->path &&
+              first->query == second->query && first->body == second->body,
+          "P2 determinism (fields)");
+  }
+
+  const std::size_t expected = mcb::expected_request_length(raw);   // P4
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (expected == 0) {
+    check(head_end == std::string_view::npos, "P4 zero only while head incomplete");
+  } else if (expected != mcb::kInvalidRequestFraming) {
+    check(head_end != std::string_view::npos, "P4 length implies complete head");
+    check(expected >= head_end + 4, "P4 total covers the head");
+    check(expected >= 4, "P4 no size_t wraparound");
+    // A parseable request must fit the framing the reader announced.
+    if (first.has_value()) {
+      check(head_end + 4 + first->body.size() <= expected,
+            "P4 parsed body fits announced framing");
+    }
+  }
+
+  // P5: responses we serialize are always complete, well-framed messages.
+  mcb::HttpResponse response;
+  response.status = 200;
+  response.body.assign(raw.substr(0, raw.size() < 512 ? raw.size() : 512));
+  const std::string wire = mcb::serialize_http_response(response);
+  check(mcb::expected_request_length(wire) == wire.size(),
+        "P5 serialized response is exactly one complete message");
+  return 0;
+}

@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "data/data_fetcher.hpp"
 #include "data/job_record.hpp"
 #include "data/job_store.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace mcb {
 namespace {
@@ -228,6 +230,70 @@ TEST(JobStore, LoadRejectsBadHeader) {
   EXPECT_FALSE(store.load_csv(path, &error));
   EXPECT_NE(error.find("header"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// Malformed rows must produce a diagnostic naming the offending data row
+// — never an abort, exception or silently-partial success.
+class JobStoreMalformedCsv : public ::testing::Test {
+ protected:
+  // Returns the error string from loading `rows` under a valid header.
+  static std::string load_error(const std::string& rows) {
+    std::string csv = join(job_csv_header(), ",") + "\n" + rows;
+    std::istringstream in(csv);
+    JobStore store;
+    std::string error;
+    EXPECT_FALSE(store.load_csv(in, &error));
+    EXPECT_FALSE(error.empty());
+    return error;
+  }
+
+  static std::string valid_row(std::uint64_t id) {
+    return join(job_to_csv(make_job(id, 1000)), ",");
+  }
+};
+
+TEST_F(JobStoreMalformedCsv, TruncatedLine) {
+  const std::string error = load_error("1,u00001,name,env,4,192\n");
+  EXPECT_NE(error.find("data row 2"), std::string::npos) << error;
+}
+
+TEST_F(JobStoreMalformedCsv, QuotedCommaShiftsNothingButShortRowFails) {
+  // A quoted comma is one field; dropping the quotes makes 19 fields.
+  const std::string good =
+      R"(7,"user,name",job,env,4,192,2200,100,280,880,4,0,1,1,1,1,0,1.0)";
+  std::istringstream in(join(job_csv_header(), ",") + "\n" + good + "\n");
+  JobStore store;
+  std::string error;
+  ASSERT_TRUE(store.load_csv(in, &error)) << error;
+  EXPECT_EQ(store.find(7)->user_name, "user,name");
+
+  const std::string bad =
+      "8,user,name,job,env,4,192,2200,100,280,880,4,0,1,1,1,1,0,1.0";
+  EXPECT_NE(load_error(bad + "\n").find("data row 2"), std::string::npos);
+}
+
+TEST_F(JobStoreMalformedCsv, NonNumericField) {
+  const std::string error =
+      load_error("9,u,j,e,4,192,2200,100,280,NOT_A_TIME,4,0,1,1,1,1,0,1.0\n");
+  EXPECT_NE(error.find("data row 2"), std::string::npos) << error;
+}
+
+TEST_F(JobStoreMalformedCsv, DuplicateJobId) {
+  const std::string error = load_error(valid_row(5) + "\n" + valid_row(5) + "\n");
+  EXPECT_NE(error.find("duplicate job id"), std::string::npos) << error;
+  EXPECT_NE(error.find("data row 3"), std::string::npos) << error;
+}
+
+TEST_F(JobStoreMalformedCsv, ErrorRowNumberSkipsBlankLines) {
+  const std::string error = load_error(valid_row(6) + "\n\n\nbroken\n");
+  // Blank lines are skipped by the reader; the broken row is data row 3.
+  EXPECT_NE(error.find("data row 3"), std::string::npos) << error;
+}
+
+TEST_F(JobStoreMalformedCsv, OverflowingNumericFieldRejected) {
+  const std::string error = load_error(
+      "10,u,j,e,4,192,2200,99999999999999999999999999,280,880,4,0,1,1,1,1,0,1.0\n");
+  EXPECT_NE(error.find("data row 2"), std::string::npos) << error;
 }
 
 class StoreQueryProperty : public ::testing::TestWithParam<std::uint64_t> {};

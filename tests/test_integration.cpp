@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 
 #include "core/mcbound.hpp"
 #include "core/online_evaluator.hpp"
@@ -20,24 +21,22 @@ namespace fs = std::filesystem;
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    config_ = new WorkloadConfig(scaled_workload_config(200.0, 15));
+    config_ = std::make_unique<WorkloadConfig>(scaled_workload_config(200.0, 15));
     WorkloadGenerator generator(*config_);
-    store_ = new JobStore();
+    store_ = std::make_unique<JobStore>();
     store_->insert_all(generator.generate());
   }
   static void TearDownTestSuite() {
-    delete store_;
-    delete config_;
-    store_ = nullptr;
-    config_ = nullptr;
+    store_.reset();
+    config_.reset();
   }
 
-  static WorkloadConfig* config_;
-  static JobStore* store_;
+  static std::unique_ptr<WorkloadConfig> config_;
+  static std::unique_ptr<JobStore> store_;
 };
 
-WorkloadConfig* IntegrationTest::config_ = nullptr;
-JobStore* IntegrationTest::store_ = nullptr;
+std::unique_ptr<WorkloadConfig> IntegrationTest::config_;
+std::unique_ptr<JobStore> IntegrationTest::store_;
 
 TEST_F(IntegrationTest, WorkloadShapeMatchesPaperAnalysis) {
   const Characterizer ch(config_->machine);

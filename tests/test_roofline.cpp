@@ -119,8 +119,19 @@ TEST(Characterizer, ZeroMemoryTrafficIsComputeBound) {
   const Characterizer ch(fugaku_node_spec());
   const auto metrics = ch.compute_metrics(executed_job(1e12, 0, 0, 0));
   ASSERT_TRUE(metrics.has_value());
-  EXPECT_TRUE(std::isinf(metrics->operational_intensity));
+  // Zero traffic yields the documented finite sentinel, not inf/UB, so
+  // downstream log10/binning arithmetic stays well-defined.
+  EXPECT_TRUE(std::isfinite(metrics->operational_intensity));
+  EXPECT_EQ(metrics->operational_intensity, kPureComputeIntensity);
+  EXPECT_GT(metrics->operational_intensity, ch.ridge_point());
   EXPECT_EQ(*ch.characterize(executed_job(1e12, 0, 0, 0)), Boundedness::kComputeBound);
+}
+
+TEST(Characterizer, NoCounterActivityUncharacterizable) {
+  const Characterizer ch(fugaku_node_spec());
+  // Zero flops AND zero traffic is 0/0 in Eq. 3: reject instead of
+  // inventing a label.
+  EXPECT_FALSE(ch.compute_metrics(executed_job(0, 0, 0, 0)).has_value());
 }
 
 TEST(Characterizer, ZeroFlopsIsMemoryBound) {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "roofline/analysis.hpp"
@@ -23,27 +24,24 @@ WorkloadConfig small_config(std::uint64_t seed = 15) {
 class GeneratedWorkload : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    config_ = new WorkloadConfig(small_config());
-    generator_ = new WorkloadGenerator(*config_);
-    jobs_ = new std::vector<JobRecord>(generator_->generate());
+    config_ = std::make_unique<WorkloadConfig>(small_config());
+    generator_ = std::make_unique<WorkloadGenerator>(*config_);
+    jobs_ = std::make_unique<std::vector<JobRecord>>(generator_->generate());
   }
   static void TearDownTestSuite() {
-    delete jobs_;
-    delete generator_;
-    delete config_;
-    jobs_ = nullptr;
-    generator_ = nullptr;
-    config_ = nullptr;
+    jobs_.reset();
+    generator_.reset();
+    config_.reset();
   }
 
-  static WorkloadConfig* config_;
-  static WorkloadGenerator* generator_;
-  static std::vector<JobRecord>* jobs_;
+  static std::unique_ptr<WorkloadConfig> config_;
+  static std::unique_ptr<WorkloadGenerator> generator_;
+  static std::unique_ptr<std::vector<JobRecord>> jobs_;
 };
 
-WorkloadConfig* GeneratedWorkload::config_ = nullptr;
-WorkloadGenerator* GeneratedWorkload::generator_ = nullptr;
-std::vector<JobRecord>* GeneratedWorkload::jobs_ = nullptr;
+std::unique_ptr<WorkloadConfig> GeneratedWorkload::config_;
+std::unique_ptr<WorkloadGenerator> GeneratedWorkload::generator_;
+std::unique_ptr<std::vector<JobRecord>> GeneratedWorkload::jobs_;
 
 TEST_F(GeneratedWorkload, VolumeMatchesConfiguredRate) {
   // ~122 days minus 3 maintenance days at 120 jobs/day.
