@@ -6,7 +6,10 @@
 // plus bench-specific flags. Output is deterministic for fixed flags.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,17 +17,60 @@
 #include "core/online_evaluator.hpp"
 #include "data/job_store.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
 namespace mcb::bench {
 
-/// Standard flag list shared by the evaluation benches.
+/// Standard flag list shared by the evaluation benches. Every bench that
+/// feeds the bench-smoke CI gate also takes `--json PATH` and writes its
+/// headline metrics as an mcb-bench-v1 artifact (see JsonReport).
 inline std::vector<std::string> standard_flags(std::vector<std::string> extra = {}) {
-  std::vector<std::string> flags = {"jobs-per-day", "seed", "rf-trees"};
+  std::vector<std::string> flags = {"jobs-per-day", "seed", "rf-trees", "json"};
   flags.insert(flags.end(), extra.begin(), extra.end());
   return flags;
+}
+
+/// Metric sink for the bench-smoke CI gate. Collects named scalar
+/// metrics and writes the artifact consumed by tools/bench_check:
+///   {"schema":"mcb-bench-v1","bench":"fig8","metrics":{"name":value}}
+/// Metric names must match the per-metric entries in bench/baselines/.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void set(const std::string& name, double value) { metrics_.set(name, value); }
+
+  bool write(const std::string& path) const {
+    Json out = Json::object();
+    out.set("schema", "mcb-bench-v1");
+    out.set("bench", bench_);
+    out.set("metrics", metrics_);
+    std::ofstream file(path);
+    if (!file) return false;
+    file << out.pretty() << '\n';
+    return file.good();
+  }
+
+ private:
+  std::string bench_;
+  Json metrics_ = Json::object();
+};
+
+/// Best-of-N wall time of fn() in seconds. Best-of (not mean) is the
+/// standard noise-resistant estimator for short deterministic kernels.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.seconds());
+  }
+  return best;
 }
 
 /// Build the synthetic Fugaku trace and load it into a store.

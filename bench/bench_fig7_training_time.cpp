@@ -10,14 +10,15 @@
 
 int main(int argc, char** argv) {
   using namespace mcb;
-  const auto flags = CliFlags::parse(
-      argc, argv, bench::standard_flags(),
-      "usage: bench_fig7_training_time [--jobs-per-day N] [--seed S] [--rf-trees T]");
+  const auto flags = CliFlags::parse(argc, argv, bench::standard_flags(),
+                                     "usage: bench_fig7_training_time [--jobs-per-day N] "
+                                     "[--seed S] [--rf-trees T] [--json PATH]");
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;
   const double jobs_per_day = flags->get_double("jobs-per-day", 200.0);
   const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 15));
   const auto rf_trees = static_cast<std::size_t>(flags->get_int("rf-trees", 100));
+  const std::string json_path = flags->get("json", "");
 
   bench::print_banner("Figure 7: average model training time vs alpha (beta=1)",
                       "Fig. 7 (§V-C a)", jobs_per_day, seed);
@@ -56,5 +57,18 @@ int main(int argc, char** argv) {
               rf_last / std::max(rf_first, 1e-9), rf_last > rf_first * 1.5 ? "OK" : "MISMATCH");
   std::printf("  KNN training cheap vs RF (RF/KNN = x%.0f at alpha=15)  -> %s\n",
               rf_first / std::max(knn_first, 1e-9), rf_first > knn_first * 5 ? "OK" : "MISMATCH");
+
+  if (!json_path.empty()) {
+    bench::JsonReport report("fig7_training_time");
+    report.set("knn_train_s_alpha15", knn_first);
+    report.set("rf_train_s_alpha15", rf_first);
+    report.set("rf_train_s_alpha60", rf_last);
+    report.set("rf_vs_knn_train_ratio_alpha15", rf_first / std::max(knn_first, 1e-9));
+    if (!report.write(json_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -10,7 +10,10 @@
 #include "core/feature_encoder.hpp"
 #include "data/job_store.hpp"
 #include "core/classification_model.hpp"
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
 #include "roofline/characterizer.hpp"
+#include "text/embedding_cache.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -65,8 +68,11 @@ struct TrainedModels {
   FeatureMatrix train_x{0, 0};
   std::vector<Label> train_y;
   FeatureMatrix query{0, 0};
+  FeatureMatrix batch{0, 0};  ///< 512-row slice for the batched kernels
   ClassificationModel knn{ModelKind::kKnn};
   ClassificationModel rf{ModelKind::kRandomForest};
+  RandomForestClassifier rf_raw;  ///< concrete handles expose the scalar
+  KnnClassifier knn_raw;          ///< reference paths for comparison
 
   TrainedModels() {
     const FeatureEncoder encoder;
@@ -84,9 +90,18 @@ struct TrainedModels {
     rf_config.tree.max_features = 48;
     rf = ClassificationModel(ModelKind::kRandomForest, {}, rf_config);
     rf.training(train_x.view(), train_y);
+    rf_raw = RandomForestClassifier(rf_config);
+    rf_raw.fit(train_x.view(), train_y);
+    knn_raw.fit(train_x.view(), train_y);
     query = FeatureMatrix(1, encoder.dim());
     const auto source = train_x.view().row(7);
     std::copy(source.begin(), source.end(), query.row(0));
+    const std::size_t batch_rows = std::min<std::size_t>(n, 512);
+    batch = FeatureMatrix(batch_rows, encoder.dim());
+    for (std::size_t i = 0; i < batch_rows; ++i) {
+      const auto row = train_x.view().row(i);
+      std::copy(row.begin(), row.end(), batch.row(i));
+    }
   }
 };
 
@@ -114,6 +129,63 @@ void BM_RfInference(benchmark::State& state) {
   state.SetLabel("paper: ~2e-6 s/job (model only)");
 }
 BENCHMARK(BM_RfInference);
+
+/// Batched kernels vs their scalar references (the bench_fig8 speedup,
+/// in per-item form). items/s is the comparable figure of merit.
+void BM_RfInferenceBatchScalar(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rf_raw.predict_scalar(m.batch.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * m.batch.view().rows));
+  state.SetLabel("bin + per-row tree recursion");
+}
+BENCHMARK(BM_RfInferenceBatchScalar);
+
+void BM_RfInferenceBatchFlat(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rf_raw.predict(m.batch.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * m.batch.view().rows));
+  state.SetLabel("flat forest, raw-float thresholds");
+}
+BENCHMARK(BM_RfInferenceBatchFlat);
+
+void BM_KnnInferenceBatchScalar(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.knn_raw.predict_scalar(m.batch.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * m.batch.view().rows));
+  state.SetLabel("serial-reduction dot scan");
+}
+BENCHMARK(BM_KnnInferenceBatchScalar);
+
+void BM_KnnInferenceBatchTiled(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.knn_raw.predict(m.batch.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * m.batch.view().rows));
+  state.SetLabel("tiled scan, 4-accumulator dot");
+}
+BENCHMARK(BM_KnnInferenceBatchTiled);
+
+void BM_EncodeBatchCached(benchmark::State& state) {
+  static const FeatureEncoder encoder;
+  const auto& jobs = sample_jobs();
+  const std::size_t n = std::min<std::size_t>(jobs.size(), 512);
+  const std::span<const JobRecord> batch(jobs.data(), n);
+  static ShardedEmbeddingCache cache(encoder.dim());
+  encoder.encode_batch_cached(batch, cache);  // warm: steady-state = all hits
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode_batch_cached(batch, cache));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  state.SetLabel("sharded LRU, warm");
+}
+BENCHMARK(BM_EncodeBatchCached);
 
 void BM_KnnTraining(benchmark::State& state) {
   auto& m = models();

@@ -117,4 +117,28 @@ FeatureMatrix FeatureEncoder::encode_batch(std::span<const JobRecord> jobs,
   return out;
 }
 
+FeatureMatrix FeatureEncoder::encode_batch_cached(std::span<const JobRecord> jobs,
+                                                  ShardedEmbeddingCache& cache,
+                                                  ThreadPool* pool) const {
+  FeatureMatrix out(jobs.size(), dim());
+  std::vector<std::string> keys(jobs.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    keys[i] = feature_string(jobs[i]);
+    if (!cache.lookup(keys[i], std::span<float>(out.row(i), dim()))) misses.push_back(i);
+  }
+  // Encoding misses is the expensive part; the cache is thread-safe so
+  // insertion happens inside the parallel region.
+  parallel_for_each(
+      pool, 0, misses.size(),
+      [&](std::size_t m) {
+        const std::size_t i = misses[m];
+        const auto vec = encoder_.encode(keys[i]);
+        std::copy(vec.begin(), vec.end(), out.row(i));
+        cache.insert(keys[i], vec);
+      },
+      /*grain=*/16);
+  return out;
+}
+
 }  // namespace mcb

@@ -20,6 +20,7 @@
 
 #include "data/job_record.hpp"
 #include "ml/dataset.hpp"
+#include "text/embedding_cache.hpp"
 #include "text/sentence_encoder.hpp"
 
 namespace mcb {
@@ -82,6 +83,15 @@ class FeatureEncoder {
   /// hits are copied from the cache and misses are computed and stored.
   FeatureMatrix encode_batch(std::span<const JobRecord> jobs, EncodingCache* cache = nullptr,
                              ThreadPool* pool = nullptr) const;
+
+  /// Encode a batch through the canonical-text LRU cache (serving fast
+  /// path): hits are copied under the shard lock, misses are encoded
+  /// (optionally in parallel) and inserted. Unlike the job-id-keyed
+  /// EncodingCache above, this deduplicates by *content*, so recurring
+  /// job names hit even across distinct job ids.
+  FeatureMatrix encode_batch_cached(std::span<const JobRecord> jobs,
+                                    ShardedEmbeddingCache& cache,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<JobFeature> features_;

@@ -46,6 +46,15 @@ std::optional<Boundedness> Framework::predict_job(const JobRecord& job) const {
   return to_boundedness(report.predictions.front());
 }
 
+std::vector<Label> Framework::predict_batch(std::span<const JobRecord> jobs,
+                                            ShardedEmbeddingCache* text_cache) const {
+  if (!has_model() || jobs.empty()) return {};
+  const FeatureMatrix x = text_cache != nullptr
+                              ? encoder_.encode_batch_cached(jobs, *text_cache, pool_)
+                              : encoder_.encode_batch(jobs, nullptr, pool_);
+  return model_->inference(x.view(), pool_);
+}
+
 InferenceReport Framework::predict_range(TimePoint start, TimePoint end) const {
   if (!has_model()) return {};
   const InferenceWorkflow workflow(fetcher_, encoder_, &cache_, pool_);

@@ -12,6 +12,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/model_registry.hpp"
@@ -48,6 +50,13 @@ class Framework {
 
   /// Inference Workflow for one not-yet-executed job.
   std::optional<Boundedness> predict_job(const JobRecord& job) const;
+
+  /// Batched Inference Workflow (serving fast path): encode all jobs —
+  /// through the canonical-text LRU cache when one is supplied — and
+  /// classify them in a single pool dispatch over the batched model
+  /// kernels. Returns an empty vector when no model is trained.
+  std::vector<Label> predict_batch(std::span<const JobRecord> jobs,
+                                   ShardedEmbeddingCache* text_cache = nullptr) const;
 
   /// Inference Workflow for all jobs submitted in [start, end).
   InferenceReport predict_range(TimePoint start, TimePoint end) const;

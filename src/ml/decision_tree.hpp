@@ -35,6 +35,12 @@ class FeatureBinner {
 
   std::uint8_t bin_value(std::size_t feature, float value) const;
 
+  /// Ascending edge array for one feature (empty for a constant
+  /// feature). bin code c means "value <= edges[c]" failed for every
+  /// edge before index c — the identity the FlatForest builder uses to
+  /// resolve bin-code thresholds back to raw float comparisons.
+  std::span<const float> edges(std::size_t feature) const { return edges_.at(feature); }
+
   /// Transform to *column-major* codes (feature-contiguous), the layout
   /// the tree's histogram builder wants: out[feature * rows + row].
   std::vector<std::uint8_t> transform_column_major(FeatureView x) const;
@@ -80,7 +86,6 @@ class DecisionTree {
   void save(std::ostream& out) const;
   bool load(std::istream& in);
 
- private:
   struct Node {
     std::int32_t left = -1;     ///< -1 marks a leaf
     std::int32_t right = -1;
@@ -89,6 +94,12 @@ class DecisionTree {
     std::uint32_t proba_offset = 0;  ///< leaf: offset into proba_ table
   };
 
+  /// Read-only node/leaf access for the FlatForest builder. Children
+  /// always have larger indices than their parent; node 0 is the root.
+  std::span<const Node> nodes() const noexcept { return nodes_; }
+  std::span<const float> leaf_probas() const noexcept { return proba_; }
+
+ private:
   std::vector<Node> nodes_;
   std::vector<float> proba_;  ///< leaf class distributions, n_classes each
   std::size_t n_classes_ = 0;

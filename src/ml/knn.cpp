@@ -34,36 +34,84 @@ void KnnClassifier::fit(FeatureView x, std::span<const Label> y) {
   }
 }
 
+namespace {
+
+/// Size-k sorted insertion buffer; k is tiny (default 5) so the shift is
+/// cheaper than heap bookkeeping. Shared by the scalar and tiled scans
+/// so tie behaviour (first-seen row wins on equal distance) is identical.
+class TopK {
+ public:
+  TopK(std::vector<std::size_t>& idx, std::vector<double>& dist, std::size_t k)
+      : idx_(idx), dist_(dist), k_(k) {
+    idx_.assign(k, 0);
+    dist_.assign(k, std::numeric_limits<double>::infinity());
+  }
+
+  void consider(std::size_t row, double d) {
+    if (d >= dist_.back()) return;
+    std::size_t pos = k_ - 1;
+    while (pos > 0 && dist_[pos - 1] > d) {
+      dist_[pos] = dist_[pos - 1];
+      idx_[pos] = idx_[pos - 1];
+      --pos;
+    }
+    dist_[pos] = d;
+    idx_[pos] = row;
+  }
+
+ private:
+  std::vector<std::size_t>& idx_;
+  std::vector<double>& dist_;
+  std::size_t k_;
+};
+
+/// Training rows per tile of the p=2 fast scan: distances for a whole
+/// tile are materialized into a small stack buffer before the top-k
+/// insertion runs over them.
+constexpr std::size_t kScanTile = 128;
+
+/// Dot of one query against `rows` consecutive training rows. Four
+/// independent accumulators break the FP-add dependence chain (float
+/// addition is not associative, so the compiler cannot do this on its
+/// own); the fixed combine order keeps results deterministic across
+/// compilers and runs.
+void tile_dots(const float* rows, std::size_t n_rows, std::size_t dim, const float* q,
+               float* out) {
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const float* row = rows + i * dim;
+    float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
+    std::size_t j = 0;
+    for (; j + 4 <= dim; j += 4) {
+      acc0 += row[j] * q[j];
+      acc1 += row[j + 1] * q[j + 1];
+      acc2 += row[j + 2] * q[j + 2];
+      acc3 += row[j + 3] * q[j + 3];
+    }
+    for (; j < dim; ++j) acc0 += row[j] * q[j];
+    out[i] = (acc0 + acc1) + (acc2 + acc3);
+  }
+}
+
+}  // namespace
+
 void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
                                std::vector<double>& dist) const {
   const std::size_t n = labels_.size();
-  const std::size_t k = std::min(config_.k, n);
-  idx.assign(k, 0);
-  dist.assign(k, std::numeric_limits<double>::infinity());
-
-  // Insertion into a size-k sorted buffer; k is tiny (default 5) so the
-  // shift is cheaper than heap bookkeeping.
-  const auto consider = [&](std::size_t row, double d) {
-    if (d >= dist.back()) return;
-    std::size_t pos = k - 1;
-    while (pos > 0 && dist[pos - 1] > d) {
-      dist[pos] = dist[pos - 1];
-      idx[pos] = idx[pos - 1];
-      --pos;
-    }
-    dist[pos] = d;
-    idx[pos] = row;
-  };
+  TopK top(idx, dist, std::min(config_.k, n));
 
   if (config_.minkowski_p == 2.0) {
     // Squared-distance scan via dot products (monotone in the true
-    // distance, so ranking is unaffected).
-    for (std::size_t i = 0; i < n; ++i) {
-      const float* row = train_data_.data() + i * dim_;
-      float dot = 0.0F;
-      for (std::size_t j = 0; j < dim_; ++j) dot += row[j] * query[j];
-      const double d = static_cast<double>(train_norms_[i]) - 2.0 * static_cast<double>(dot);
-      consider(i, d);  // query norm is constant across rows; omitted
+    // distance, so ranking is unaffected; query norm is constant across
+    // rows and omitted).
+    float dots[kScanTile];
+    for (std::size_t base = 0; base < n; base += kScanTile) {
+      const std::size_t rows = std::min(kScanTile, n - base);
+      tile_dots(train_data_.data() + base * dim_, rows, dim_, query.data(), dots);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const double d =
+            static_cast<double>(train_norms_[base + i]) - 2.0 * static_cast<double>(dots[i]);
+        top.consider(base + i, d);
+      }
     }
   } else {
     const double p = config_.minkowski_p;
@@ -73,16 +121,39 @@ void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::si
       for (std::size_t j = 0; j < dim_; ++j) {
         sum += std::pow(std::abs(static_cast<double>(row[j]) - query[j]), p);
       }
-      consider(i, sum);  // comparing sums ~ comparing p-th roots
+      top.consider(i, sum);  // comparing sums ~ comparing p-th roots
     }
   }
 }
 
-Label KnnClassifier::predict_one(std::span<const float> query) const {
-  thread_local std::vector<std::size_t> idx;
-  thread_local std::vector<double> dist;
-  top_k_scan(query, idx, dist);
+void KnnClassifier::top_k_scan_scalar(std::span<const float> query,
+                                      std::vector<std::size_t>& idx,
+                                      std::vector<double>& dist) const {
+  const std::size_t n = labels_.size();
+  TopK top(idx, dist, std::min(config_.k, n));
 
+  if (config_.minkowski_p == 2.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = train_data_.data() + i * dim_;
+      float dot = 0.0F;
+      for (std::size_t j = 0; j < dim_; ++j) dot += row[j] * query[j];
+      const double d = static_cast<double>(train_norms_[i]) - 2.0 * static_cast<double>(dot);
+      top.consider(i, d);
+    }
+  } else {
+    const double p = config_.minkowski_p;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = train_data_.data() + i * dim_;
+      double sum = 0.0;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        sum += std::pow(std::abs(static_cast<double>(row[j]) - query[j]), p);
+      }
+      top.consider(i, sum);
+    }
+  }
+}
+
+Label KnnClassifier::vote(std::span<const std::size_t> idx) const {
   // Majority vote; ties go to the lowest class id (sklearn behaviour).
   std::vector<std::uint32_t> votes(n_classes_, 0);
   for (const std::size_t i : idx) ++votes[static_cast<std::size_t>(labels_[i])];
@@ -93,12 +164,35 @@ Label KnnClassifier::predict_one(std::span<const float> query) const {
   return best;
 }
 
+Label KnnClassifier::predict_one(std::span<const float> query, bool scalar) const {
+  thread_local std::vector<std::size_t> idx;
+  thread_local std::vector<double> dist;
+  if (scalar) {
+    top_k_scan_scalar(query, idx, dist);
+  } else {
+    top_k_scan(query, idx, dist);
+  }
+  return vote(idx);
+}
+
 std::vector<Label> KnnClassifier::predict(FeatureView x, ThreadPool* pool) const {
   if (!is_fitted()) throw std::logic_error("knn: predict before fit");
   if (x.cols != dim_) throw std::invalid_argument("knn: query dimension mismatch");
   std::vector<Label> out(x.rows, 0);
   parallel_for_each(
-      pool, 0, x.rows, [&](std::size_t i) { out[i] = predict_one(x.row(i)); },
+      pool, 0, x.rows,
+      [&](std::size_t i) { out[i] = predict_one(x.row(i), /*scalar=*/false); },
+      /*grain=*/8);
+  return out;
+}
+
+std::vector<Label> KnnClassifier::predict_scalar(FeatureView x, ThreadPool* pool) const {
+  if (!is_fitted()) throw std::logic_error("knn: predict before fit");
+  if (x.cols != dim_) throw std::invalid_argument("knn: query dimension mismatch");
+  std::vector<Label> out(x.rows, 0);
+  parallel_for_each(
+      pool, 0, x.rows,
+      [&](std::size_t i) { out[i] = predict_one(x.row(i), /*scalar=*/true); },
       /*grain=*/8);
   return out;
 }
@@ -111,7 +205,19 @@ std::vector<std::size_t> KnnClassifier::kneighbors(std::span<const float> query)
   return idx;
 }
 
+std::vector<std::size_t> KnnClassifier::kneighbors_scalar(std::span<const float> query) const {
+  if (!is_fitted()) throw std::logic_error("knn: kneighbors before fit");
+  std::vector<std::size_t> idx;
+  std::vector<double> dist;
+  top_k_scan_scalar(query, idx, dist);
+  return idx;
+}
+
 bool KnnClassifier::save(std::ostream& out) const {
+  // Refuse to serialize an unfitted model: it would write dim_ == 0,
+  // which load() rejects — a silent success here just defers the
+  // failure to whoever tries to read the file back.
+  if (!is_fitted()) return false;
   io::write_header(out, io::kKindKnn);
   io::write_pod(out, static_cast<std::uint64_t>(config_.k));
   io::write_pod(out, config_.minkowski_p);

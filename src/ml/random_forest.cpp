@@ -56,10 +56,53 @@ void RandomForestClassifier::fit(FeatureView x, std::span<const Label> y) {
                       rng);
       },
       /*grain=*/1);
+  flat_.build(trees_, binner_, n_classes_);
 }
+
+namespace {
+
+std::vector<Label> argmax_rows(const std::vector<double>& probs, std::size_t rows,
+                               std::size_t n_classes) {
+  std::vector<Label> out(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = probs.data() + r * n_classes;
+    Label best = 0;
+    for (std::size_t c = 1; c < n_classes; ++c) {
+      if (row[c] > row[static_cast<std::size_t>(best)]) best = static_cast<Label>(c);
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<double> RandomForestClassifier::predict_proba(FeatureView x,
                                                           ThreadPool* pool) const {
+  if (!is_fitted()) throw std::logic_error("rf: predict before fit");
+  if (x.cols != n_features_) throw std::invalid_argument("rf: feature dimension mismatch");
+
+  // Batched fast path: row blocks through the flattened forest on raw
+  // float features — no per-row binning pass.
+  std::vector<double> probs(x.rows * n_classes_, 0.0);
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  parallel_for(
+      pool, 0, x.rows,
+      [&](std::size_t begin, std::size_t end) {
+        double* block = probs.data() + begin * n_classes_;
+        flat_.accumulate_proba_block(x, begin, end, block);
+        for (std::size_t i = 0; i < (end - begin) * n_classes_; ++i) block[i] *= inv;
+      },
+      /*grain=*/64);
+  return probs;
+}
+
+std::vector<Label> RandomForestClassifier::predict(FeatureView x, ThreadPool* pool) const {
+  return argmax_rows(predict_proba(x, pool), x.rows, n_classes_);
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_scalar(FeatureView x,
+                                                                 ThreadPool* pool) const {
   if (!is_fitted()) throw std::logic_error("rf: predict before fit");
   if (x.cols != n_features_) throw std::invalid_argument("rf: feature dimension mismatch");
 
@@ -89,21 +132,16 @@ std::vector<double> RandomForestClassifier::predict_proba(FeatureView x,
   return probs;
 }
 
-std::vector<Label> RandomForestClassifier::predict(FeatureView x, ThreadPool* pool) const {
-  const std::vector<double> probs = predict_proba(x, pool);
-  std::vector<Label> out(x.rows, 0);
-  for (std::size_t r = 0; r < x.rows; ++r) {
-    const double* row = probs.data() + r * n_classes_;
-    Label best = 0;
-    for (std::size_t c = 1; c < n_classes_; ++c) {
-      if (row[c] > row[static_cast<std::size_t>(best)]) best = static_cast<Label>(c);
-    }
-    out[r] = best;
-  }
-  return out;
+std::vector<Label> RandomForestClassifier::predict_scalar(FeatureView x,
+                                                          ThreadPool* pool) const {
+  return argmax_rows(predict_proba_scalar(x, pool), x.rows, n_classes_);
 }
 
 bool RandomForestClassifier::save(std::ostream& out) const {
+  // An unfitted forest has no trees; silently writing an empty model
+  // that load() would then reject is a trap for callers (mirrors the
+  // same guard in KnnClassifier::save).
+  if (!is_fitted()) return false;
   io::write_header(out, io::kKindRandomForest);
   io::write_pod(out, static_cast<std::uint64_t>(n_classes_));
   io::write_pod(out, static_cast<std::uint64_t>(n_features_));
@@ -122,12 +160,21 @@ bool RandomForestClassifier::load(std::istream& in) {
     return false;
   }
   if (!binner_.load(in)) return false;
+  flat_ = FlatForest();
   trees_.assign(n_trees, DecisionTree());
   for (auto& tree : trees_) {
     if (!tree.load(in)) return false;
   }
   n_classes_ = static_cast<std::size_t>(n_classes);
   n_features_ = static_cast<std::size_t>(n_features);
+  // Rebuild the batched-inference representation; a stream whose trees
+  // and binner disagree is malformed, not a crash.
+  try {
+    flat_.build(trees_, binner_, n_classes_);
+  } catch (const std::exception&) {  // logic_error or out-of-range feature
+    trees_.clear();
+    return false;
+  }
   return true;
 }
 

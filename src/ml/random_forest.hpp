@@ -11,6 +11,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 
 namespace mcb {
 
@@ -27,10 +28,20 @@ class RandomForestClassifier final : public Classifier {
   explicit RandomForestClassifier(RandomForestConfig config = {});
 
   void fit(FeatureView x, std::span<const Label> y) override;
+
+  /// Batched prediction over the flattened forest (built at fit/load):
+  /// raw-float row blocks through FlatForest, no per-row binning.
+  /// Bit-identical to the scalar reference path below.
   std::vector<Label> predict(FeatureView x, ThreadPool* pool = nullptr) const override;
 
   /// Averaged class probabilities, row-major [rows x n_classes].
   std::vector<double> predict_proba(FeatureView x, ThreadPool* pool = nullptr) const;
+
+  /// Scalar reference path (bin each row, recurse every tree per
+  /// sample). Kept for equivalence tests and the bench_fig8 speedup
+  /// measurement; not used in production serving.
+  std::vector<Label> predict_scalar(FeatureView x, ThreadPool* pool = nullptr) const;
+  std::vector<double> predict_proba_scalar(FeatureView x, ThreadPool* pool = nullptr) const;
 
   bool is_fitted() const noexcept override { return !trees_.empty(); }
   std::string name() const override { return "random_forest"; }
@@ -38,6 +49,7 @@ class RandomForestClassifier final : public Classifier {
   const RandomForestConfig& config() const noexcept { return config_; }
   std::size_t tree_count() const noexcept { return trees_.size(); }
   const DecisionTree& tree(std::size_t i) const { return trees_.at(i); }
+  const FlatForest& flat() const noexcept { return flat_; }
 
   /// Pass a pool before fit() to parallelize tree construction.
   void set_training_pool(ThreadPool* pool) noexcept { train_pool_ = pool; }
@@ -49,6 +61,7 @@ class RandomForestClassifier final : public Classifier {
   RandomForestConfig config_;
   FeatureBinner binner_;
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   std::size_t n_classes_ = 0;
   std::size_t n_features_ = 0;
   ThreadPool* train_pool_ = nullptr;

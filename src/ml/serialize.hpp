@@ -62,5 +62,6 @@ bool read_header(std::istream& in, std::uint32_t& model_kind);
 inline constexpr std::uint32_t kKindKnn = 1;
 inline constexpr std::uint32_t kKindRandomForest = 2;
 inline constexpr std::uint32_t kKindBaseline = 3;
+inline constexpr std::uint32_t kKindFlatForest = 4;
 
 }  // namespace mcb::io

@@ -86,8 +86,11 @@ std::optional<JobRecord> parse_job_body(const HttpRequest& request, HttpResponse
 
 }  // namespace
 
-ApiServer::ApiServer(Framework& framework, ServerConfig server_config)
-    : framework_(&framework), server_(server_config) {
+ApiServer::ApiServer(Framework& framework, ServerConfig server_config,
+                     EmbeddingCacheConfig cache_config)
+    : framework_(&framework),
+      server_(server_config),
+      embedding_cache_(framework.encoder().dim(), cache_config) {
   install_routes();
 }
 
@@ -102,15 +105,38 @@ void ApiServer::install_routes() {
                 [this](const HttpRequest& r) { return handle_characterize(r); });
   server_.route("POST", "/predict",
                 [this](const HttpRequest& r) { return handle_predict(r); });
+  server_.route("POST", "/classify_batch",
+                [this](const HttpRequest& r) { return handle_classify_batch(r); });
   server_.route("POST", "/train",
                 [this](const HttpRequest& r) { return handle_train(r); });
   server_.route("POST", "/encode",
                 [this](const HttpRequest& r) { return handle_encode(r); });
   server_.route("GET", "/jobs", [this](const HttpRequest& r) { return handle_jobs(r); });
-  // Observability: no framework lock — reads only executor/server state.
-  server_.route("GET", "/metrics", [this](const HttpRequest&) {
-    return HttpResponse::json(200, server_.stats_json().dump());
-  });
+  // Observability: no framework lock — executor/server state + app counters.
+  server_.route("GET", "/metrics",
+                [this](const HttpRequest&) { return HttpResponse::json(200, metrics().dump()); });
+}
+
+Json ApiServer::metrics() const {
+  Json out = server_.stats_json();
+  const auto cache_stats = embedding_cache_.stats();
+  Json cache = Json::object();
+  cache.set("hits", static_cast<std::int64_t>(cache_stats.hits));
+  cache.set("misses", static_cast<std::int64_t>(cache_stats.misses));
+  cache.set("insertions", static_cast<std::int64_t>(cache_stats.insertions));
+  cache.set("evictions", static_cast<std::int64_t>(cache_stats.evictions));
+  cache.set("size", static_cast<std::int64_t>(embedding_cache_.size()));
+  cache.set("capacity", static_cast<std::int64_t>(embedding_cache_.capacity()));
+  cache.set("shards", static_cast<std::int64_t>(embedding_cache_.shard_count()));
+  Json batch = Json::object();
+  batch.set("requests", static_cast<std::int64_t>(batch_requests_.load()));
+  batch.set("jobs", static_cast<std::int64_t>(batch_jobs_.load()));
+  batch.set("max_batch", static_cast<std::int64_t>(batch_max_.load()));
+  Json app = Json::object();
+  app.set("embedding_cache", cache);
+  app.set("classify_batch", batch);
+  out.set("app", app);
+  return out;
 }
 
 HttpResponse ApiServer::handle_encode(const HttpRequest& request) {
@@ -226,11 +252,67 @@ HttpResponse ApiServer::handle_predict(const HttpRequest& request) {
   if (!framework_->has_model()) {
     return error_response(503, "no trained model; POST /train first");
   }
-  const auto label = framework_->predict_job(*job);
-  if (!label.has_value()) return error_response(500, "prediction failed");
+  // Single-job requests ride the batched fast path too, so recurring
+  // submissions (same canonical feature string) hit the embedding cache.
+  const auto labels = framework_->predict_batch({&*job, 1}, &embedding_cache_);
+  if (labels.empty()) return error_response(500, "prediction failed");
   Json body = Json::object();
   body.set("job_id", static_cast<std::int64_t>(job->job_id));
-  body.set("label", boundedness_name(*label));
+  body.set("label", boundedness_name(to_boundedness(labels.front())));
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_classify_batch(const HttpRequest& request) {
+  // Caps the per-request work so one request cannot monopolize the
+  // connection executor past the server's socket timeouts.
+  constexpr std::size_t kMaxBatch = 4096;
+
+  std::string parse_error;
+  const auto json = Json::parse(request.body, &parse_error);
+  if (!json.has_value()) return error_response(400, "invalid JSON: " + parse_error);
+  if (!json->is_object() || !json->contains("jobs") || !(*json)["jobs"].is_array()) {
+    return error_response(400, "body must be {\"jobs\": [...]}");
+  }
+  const JsonArray& list = (*json)["jobs"].as_array();
+  if (list.empty()) return error_response(400, "jobs must be non-empty");
+  if (list.size() > kMaxBatch) {
+    return error_response(413, "batch too large (max " + std::to_string(kMaxBatch) + " jobs)");
+  }
+
+  std::vector<JobRecord> jobs;
+  jobs.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const auto job = job_from_json(list[i], &parse_error);
+    if (!job.has_value()) {
+      return error_response(400, "jobs[" + std::to_string(i) + "]: " + parse_error);
+    }
+    jobs.push_back(*job);
+  }
+
+  std::vector<Label> labels;
+  {
+    std::lock_guard lock(mutex_);
+    if (!framework_->has_model()) {
+      return error_response(503, "no trained model; POST /train first");
+    }
+    labels = framework_->predict_batch(jobs, &embedding_cache_);
+  }
+  if (labels.size() != jobs.size()) return error_response(500, "prediction failed");
+
+  batch_requests_.fetch_add(1, std::memory_order_relaxed);
+  batch_jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
+  std::uint64_t prev = batch_max_.load(std::memory_order_relaxed);
+  while (prev < jobs.size() &&
+         !batch_max_.compare_exchange_weak(prev, jobs.size(), std::memory_order_relaxed)) {
+  }
+
+  Json body = Json::object();
+  body.set("count", static_cast<std::int64_t>(labels.size()));
+  Json out_labels = Json::array();
+  for (const Label label : labels) {
+    out_labels.push_back(boundedness_name(to_boundedness(label)));
+  }
+  body.set("labels", out_labels);
   return HttpResponse::json(200, body.dump());
 }
 

@@ -7,19 +7,28 @@
 //   POST /encode        -> job JSON -> {"embedding":[384 floats]}
 //   GET  /jobs?from=A&to=B[&field=submit|end] -> job list from the store
 //   POST /predict       -> submitted-job JSON -> {"label":"memory-bound"|...}
+//   POST /classify_batch-> {"jobs":[...]} -> {"labels":[...]} (batched fast path)
 //   POST /train         -> {"now": <epoch s>} -> training report JSON
 //   GET  /metrics       -> server-side counters + per-route latency summaries
+//                          + app section (embedding cache, batch sizes)
 //
 // Mutating endpoints are serialized by an internal mutex; read endpoints
 // take the same lock briefly to snapshot model state (the framework is
-// not internally synchronized).
+// not internally synchronized). /predict and /classify_batch run the
+// batched inference fast path: embeddings come from a sharded
+// canonical-text LRU cache (recurring job names hit without encoding)
+// and the whole batch goes through the flat-forest / tiled-KNN kernels
+// in one pool dispatch.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 
 #include "core/mcbound.hpp"
 #include "serve/server.hpp"
+#include "text/embedding_cache.hpp"
 #include "util/json.hpp"
 
 namespace mcb {
@@ -33,8 +42,10 @@ std::optional<JobRecord> job_from_json(const Json& json, std::string* error = nu
 class ApiServer {
  public:
   /// `server_config` tunes the connection executor (pool size, pending
-  /// queue bound, timeouts, drain budget) — see ServerConfig.
-  explicit ApiServer(Framework& framework, ServerConfig server_config = {});
+  /// queue bound, timeouts, drain budget) — see ServerConfig;
+  /// `cache_config` sizes the canonical-text embedding cache.
+  explicit ApiServer(Framework& framework, ServerConfig server_config = {},
+                     EmbeddingCacheConfig cache_config = {});
 
   /// Start serving on the given port (0 = ephemeral). Returns false on
   /// bind failure.
@@ -42,8 +53,13 @@ class ApiServer {
   void stop() { server_.stop(); }
   int port() const noexcept { return server_.port(); }
 
-  /// The /metrics payload (also reachable without sockets).
-  Json metrics() const { return server_.stats_json(); }
+  /// The /metrics payload (also reachable without sockets): executor +
+  /// route stats from the HttpServer plus the app section (embedding
+  /// cache hit/miss/evict, classify_batch batch-size counters).
+  Json metrics() const;
+
+  /// The serving-side embedding cache (exposed for tests/ops).
+  ShardedEmbeddingCache& embedding_cache() noexcept { return embedding_cache_; }
 
   /// Route table access for socket-less testing.
   HttpResponse dispatch(const HttpRequest& request) const { return server_.dispatch(request); }
@@ -57,11 +73,17 @@ class ApiServer {
   HttpResponse handle_encode(const HttpRequest& request);
   HttpResponse handle_jobs(const HttpRequest& request);
   HttpResponse handle_predict(const HttpRequest& request);
+  HttpResponse handle_classify_batch(const HttpRequest& request);
   HttpResponse handle_train(const HttpRequest& request);
 
   Framework* framework_;
   HttpServer server_;
   mutable std::mutex mutex_;
+
+  mutable ShardedEmbeddingCache embedding_cache_;
+  std::atomic<std::uint64_t> batch_requests_{0};  ///< /classify_batch calls served
+  std::atomic<std::uint64_t> batch_jobs_{0};      ///< jobs classified across them
+  std::atomic<std::uint64_t> batch_max_{0};       ///< largest single batch
 };
 
 }  // namespace mcb

@@ -1,0 +1,93 @@
+#include "text/embedding_cache.hpp"
+
+#include <algorithm>
+
+namespace mcb {
+
+ShardedEmbeddingCache::ShardedEmbeddingCache(std::size_t dim, EmbeddingCacheConfig config)
+    : dim_(dim),
+      capacity_(std::max<std::size_t>(config.capacity, 1)),
+      shards_(std::clamp<std::size_t>(config.shards, 1, 256)) {
+  // Round per-shard capacity up so the configured total is a floor, not
+  // a ceiling-by-truncation (capacity 10 over 8 shards must not mean 8).
+  per_shard_capacity_ = (capacity_ + shards_.size() - 1) / shards_.size();
+}
+
+ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(std::string_view key) noexcept {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+const ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
+    std::string_view key) const noexcept {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+bool ShardedEmbeddingCache::lookup(std::string_view key, std::span<float> out) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
+      const auto& embedding = it->second->second;
+      if (out.size() == embedding.size()) {
+        std::copy(embedding.begin(), embedding.end(), out.begin());
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ShardedEmbeddingCache::insert(std::string_view key, std::span<const float> embedding) {
+  if (embedding.size() != dim_) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: promote and overwrite (identical content in practice —
+    // the encoder is deterministic — but keep the cache authoritative).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->second.assign(embedding.begin(), embedding.end());
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(std::string(key),
+                          std::vector<float>(embedding.begin(), embedding.end()));
+  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEmbeddingCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+std::size_t ShardedEmbeddingCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+ShardedEmbeddingCache::Stats ShardedEmbeddingCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mcb

@@ -598,6 +598,22 @@ TEST(ModelFiles, TruncatedStreamsFailCleanly) {
   EXPECT_FALSE(knn_loaded.load(knn_cut));
 }
 
+TEST(ModelFiles, UnfittedKnnRefusesToSave) {
+  // Saving an unfitted model must fail up front, not write a header for
+  // a model that load() would then reject (or worse, accept as empty).
+  KnnClassifier knn;
+  std::stringstream out;
+  EXPECT_FALSE(knn.save(out));
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ModelFiles, UnfittedRandomForestRefusesToSave) {
+  RandomForestClassifier forest;
+  std::stringstream out;
+  EXPECT_FALSE(forest.save(out));
+  EXPECT_TRUE(out.str().empty());
+}
+
 TEST(ModelFiles, BitFlippedMagicRejected) {
   const Blobs train = make_blobs(40, 3, 1, 0.5, 131);
   KnnClassifier knn;

@@ -544,6 +544,71 @@ TEST_F(ApiTest, TrainThenPredictFlow) {
   EXPECT_TRUE((*health)["trained"].as_bool());
 }
 
+TEST_F(ApiTest, ClassifyBatchWithoutModelIs503) {
+  const auto response = call("POST", "/classify_batch", R"({"jobs":[{"job_name":"x"}]})");
+  EXPECT_EQ(response.status, 503);
+}
+
+TEST_F(ApiTest, ClassifyBatchValidation) {
+  EXPECT_EQ(call("POST", "/classify_batch", "{not json").status, 400);
+  EXPECT_EQ(call("POST", "/classify_batch", R"({"no_jobs":1})").status, 400);
+  EXPECT_EQ(call("POST", "/classify_batch", R"({"jobs":"x"})").status, 400);
+  EXPECT_EQ(call("POST", "/classify_batch", R"({"jobs":[]})").status, 400);
+  // A bad element is reported with its index.
+  const auto response =
+      call("POST", "/classify_batch", R"({"jobs":[{"job_name":"ok"},{"user_name":"no-name"}]})");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(Json::parse(response.body)->operator[]("error").as_string().find("jobs[1]"),
+            std::string::npos);
+}
+
+TEST_F(ApiTest, ClassifyBatchFlow) {
+  ASSERT_EQ(call("POST", "/train", "{\"now\": " + std::to_string(last_end_ + 10) + "}").status,
+            201);
+  const std::string batch =
+      R"({"jobs":[
+           {"job_name":"stream_app","user_name":"u1","nodes_requested":2,"cores_requested":96,"environment":"env"},
+           {"job_name":"dgemm_app","user_name":"u2","nodes_requested":2,"cores_requested":96,"environment":"env"},
+           {"job_name":"stream_app","user_name":"u1","nodes_requested":2,"cores_requested":96,"environment":"env"}]})";
+  const auto response = call("POST", "/classify_batch", batch);
+  ASSERT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ((*json)["count"].as_int(), 3);
+  const auto& labels = (*json)["labels"].as_array();
+  ASSERT_EQ(labels.size(), 3U);
+  EXPECT_EQ(labels[0].as_string(), "memory-bound");
+  EXPECT_EQ(labels[1].as_string(), "compute-bound");
+  EXPECT_EQ(labels[2].as_string(), "memory-bound");
+
+  // A repeat of the whole batch is pure embedding-cache hits (lookups
+  // run before the miss-encoding pass, so intra-batch duplicates miss
+  // on the first round); the app metrics section must reflect that.
+  EXPECT_EQ(call("POST", "/classify_batch", batch).status, 200);
+  const auto metrics = Json::parse(call("GET", "/metrics").body);
+  ASSERT_TRUE(metrics.has_value());
+  const Json& cache = (*metrics)["app"]["embedding_cache"];
+  EXPECT_EQ(cache["hits"].as_int(), 3);    // the repeated batch
+  EXPECT_EQ(cache["misses"].as_int(), 3);  // first batch, duplicate included
+  EXPECT_EQ(cache["size"].as_int(), 2);    // two distinct canonical strings
+  const Json& counters = (*metrics)["app"]["classify_batch"];
+  EXPECT_EQ(counters["requests"].as_int(), 2);
+  EXPECT_EQ(counters["jobs"].as_int(), 6);
+  EXPECT_EQ(counters["max_batch"].as_int(), 3);
+}
+
+TEST_F(ApiTest, PredictSharesEmbeddingCacheWithBatch) {
+  ASSERT_EQ(call("POST", "/train", "{\"now\": " + std::to_string(last_end_ + 10) + "}").status,
+            201);
+  const std::string job =
+      R"({"job_name":"stream_app","user_name":"u1","nodes_requested":2,"cores_requested":96,"environment":"env"})";
+  EXPECT_EQ(call("POST", "/predict", job).status, 200);
+  EXPECT_EQ(call("POST", "/predict", job).status, 200);
+  const auto metrics = Json::parse(call("GET", "/metrics").body);
+  EXPECT_GE((*metrics)["app"]["embedding_cache"]["hits"].as_int(), 1);
+  EXPECT_EQ((*metrics)["app"]["embedding_cache"]["misses"].as_int(), 1);
+}
+
 TEST_F(ApiTest, TrainEmptyWindowIs409) {
   const auto response = call("POST", "/train", R"({"now": 1000})");  // before any data
   EXPECT_EQ(response.status, 409);

@@ -1,0 +1,135 @@
+// bench_check — the bench-smoke CI gate (DESIGN.md §8).
+//
+// Compares freshly generated BENCH_*.json artifacts (mcb-bench-v1,
+// written by the benches' --json flag) against the committed baselines
+// in bench/baselines/ (mcb-bench-baseline-v1). Usage:
+//
+//   bench_check BASELINE FRESH [BASELINE FRESH ...]
+//
+// Each baseline metric carries its own policy:
+//
+//   {"schema": "mcb-bench-baseline-v1",
+//    "metrics": {"rf_batch_speedup": {"value": 3.0,
+//                                     "direction": "higher",
+//                                     "gate": "fail"}}}
+//
+// direction: which way is better ("higher" = throughput/speedup,
+//            "lower" = latency). gate: "fail" metrics hard-fail the run
+//            when they regress past 2x; "warn" metrics only ever warn.
+// Any gated metric regressed >= 2.0x  -> exit 1 (hard failure).
+// Any metric regressed >= 1.25x       -> WARN line, exit stays 0.
+//
+// The 2x hard threshold is deliberately loose so shared CI runners
+// (noisy neighbors, frequency scaling) do not flake the gate; the
+// "fail"-gated metrics are machine-relative ratios (scalar vs batched
+// on the same box, same run), which are far more stable than absolute
+// throughput. To refresh a baseline after an intentional change, run
+// the bench with --json locally (or download the CI artifact) and copy
+// the new values into bench/baselines/, keeping direction/gate.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+using mcb::Json;
+
+constexpr double kWarnFactor = 1.25;
+constexpr double kFailFactor = 2.0;
+
+std::optional<Json> load_json(const std::string& path, const char* role) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_check: cannot open %s file %s\n", role, path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string error;
+  auto json = Json::parse(buffer.str(), &error);
+  if (!json.has_value()) {
+    std::fprintf(stderr, "bench_check: %s is not valid JSON: %s\n", path.c_str(), error.c_str());
+  }
+  return json;
+}
+
+/// Checks one baseline/fresh pair; returns the number of hard failures.
+int check_pair(const std::string& baseline_path, const std::string& fresh_path) {
+  const auto baseline = load_json(baseline_path, "baseline");
+  const auto fresh = load_json(fresh_path, "fresh");
+  if (!baseline.has_value() || !fresh.has_value()) return 1;
+  if ((*baseline)["schema"].as_string() != "mcb-bench-baseline-v1") {
+    std::fprintf(stderr, "bench_check: %s: expected schema mcb-bench-baseline-v1\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if ((*fresh)["schema"].as_string() != "mcb-bench-v1") {
+    std::fprintf(stderr, "bench_check: %s: expected schema mcb-bench-v1\n", fresh_path.c_str());
+    return 1;
+  }
+
+  const Json& fresh_metrics = (*fresh)["metrics"];
+  int failures = 0;
+  std::printf("bench_check: %s vs %s\n", fresh_path.c_str(), baseline_path.c_str());
+  for (const auto& [name, entry] : (*baseline)["metrics"].as_object()) {
+    const double base_value = entry["value"].as_double();
+    const std::string direction = entry["direction"].as_string();
+    const std::string gate = entry["gate"].as_string();
+    if (base_value <= 0.0 || (direction != "higher" && direction != "lower") ||
+        (gate != "fail" && gate != "warn")) {
+      std::fprintf(stderr, "  FAIL  %s: malformed baseline entry\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    if (!fresh_metrics.contains(name)) {
+      std::fprintf(stderr, "  FAIL  %s: missing from fresh artifact\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    const double fresh_value = fresh_metrics[name].as_double();
+    if (fresh_value <= 0.0) {
+      std::fprintf(stderr, "  FAIL  %s: non-positive fresh value %g\n", name.c_str(), fresh_value);
+      ++failures;
+      continue;
+    }
+    // factor > 1 means the fresh value is worse than the baseline.
+    const double factor =
+        direction == "higher" ? base_value / fresh_value : fresh_value / base_value;
+    const char* verdict = "ok  ";
+    if (factor >= kFailFactor && gate == "fail") {
+      verdict = "FAIL";
+      ++failures;
+    } else if (factor >= kWarnFactor) {
+      verdict = "WARN";
+    }
+    std::printf("  %s  %-28s fresh %12.6g  baseline %12.6g  (%.2fx %s, gate=%s)\n", verdict,
+                name.c_str(), fresh_value, base_value, factor,
+                factor >= 1.0 ? "worse" : "better-or-equal", gate.c_str());
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || (argc - 1) % 2 != 0) {
+    std::fprintf(stderr, "usage: bench_check BASELINE FRESH [BASELINE FRESH ...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    failures += check_pair(argv[i], argv[i + 1]);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d hard failure(s) — a gated metric regressed >= %.1fx.\n"
+                 "If the regression is intentional, refresh bench/baselines/ (see header).\n",
+                 failures, kFailFactor);
+    return 1;
+  }
+  std::printf("bench_check: all gated metrics within %.1fx of baseline\n", kFailFactor);
+  return 0;
+}
