@@ -143,7 +143,7 @@ HttpResponse ApiServer::handle_encode(const HttpRequest& request) {
   HttpResponse error;
   const auto job = parse_job_body(request, error);
   if (!job.has_value()) return error;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto embedding = framework_->encoder().encode(*job);
   Json body = Json::object();
   body.set("feature_string", framework_->encoder().feature_string(*job));
@@ -171,25 +171,31 @@ HttpResponse ApiServer::handle_jobs(const HttpRequest& request) {
   if (field != "submit" && field != "end") {
     return error_response(400, "field must be 'submit' or 'end'");
   }
-  std::lock_guard lock(mutex_);
   JobQuery query;
   query.field = field == "submit" ? JobQuery::TimeField::kSubmitTime
                                   : JobQuery::TimeField::kEndTime;
   query.start_time = from;
   query.end_time = to;
-  const auto jobs = framework_->store().query(query);
+  // The store is internally synchronized; only the framework_ deref
+  // needs mutex_, so the scan itself runs without the API lock.
+  const JobStore* store = nullptr;
+  {
+    MutexLock lock(mutex_);
+    store = &framework_->store();
+  }
+  const std::vector<JobRecord> jobs = store->query_records(query);
   Json body = Json::object();
   body.set("count", static_cast<std::int64_t>(jobs.size()));
   Json list = Json::array();
   for (std::size_t i = 0; i < jobs.size() && i < static_cast<std::size_t>(limit); ++i) {
-    list.push_back(job_to_json(*jobs[i]));
+    list.push_back(job_to_json(jobs[i]));
   }
   body.set("jobs", list);
   return HttpResponse::json(200, body.dump());
 }
 
 HttpResponse ApiServer::handle_health(const HttpRequest&) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Json body = Json::object();
   body.set("status", "ok");
   body.set("model", framework_->model_name());
@@ -201,7 +207,7 @@ HttpResponse ApiServer::handle_health(const HttpRequest&) {
 }
 
 HttpResponse ApiServer::handle_model_info(const HttpRequest&) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Json body = Json::object();
   body.set("model", framework_->model_name());
   body.set("trained", framework_->has_model());
@@ -225,7 +231,7 @@ HttpResponse ApiServer::handle_characterize(const HttpRequest& request) {
   const auto job = parse_job_body(request, error);
   if (!job.has_value()) return error;
 
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto metrics = framework_->job_metrics(*job);
   if (!metrics.has_value()) {
     return error_response(400, "job cannot be characterized (invalid duration/nodes)");
@@ -248,7 +254,7 @@ HttpResponse ApiServer::handle_predict(const HttpRequest& request) {
   const auto job = parse_job_body(request, error);
   if (!job.has_value()) return error;
 
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!framework_->has_model()) {
     return error_response(503, "no trained model; POST /train first");
   }
@@ -291,7 +297,7 @@ HttpResponse ApiServer::handle_classify_batch(const HttpRequest& request) {
 
   std::vector<Label> labels;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!framework_->has_model()) {
       return error_response(503, "no trained model; POST /train first");
     }
@@ -299,9 +305,11 @@ HttpResponse ApiServer::handle_classify_batch(const HttpRequest& request) {
   }
   if (labels.size() != jobs.size()) return error_response(500, "prediction failed");
 
+  // relaxed: independent monotonic batch counters read only by
+  // /metrics; no ordering is needed between them or with the labels.
   batch_requests_.fetch_add(1, std::memory_order_relaxed);
-  batch_jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
-  std::uint64_t prev = batch_max_.load(std::memory_order_relaxed);
+  batch_jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);  // relaxed: see above
+  std::uint64_t prev = batch_max_.load(std::memory_order_relaxed);  // relaxed: max-tracking CAS loop
   while (prev < jobs.size() &&
          !batch_max_.compare_exchange_weak(prev, jobs.size(), std::memory_order_relaxed)) {
   }
@@ -320,7 +328,7 @@ HttpResponse ApiServer::handle_train(const HttpRequest& request) {
   std::string parse_error;
   const auto json = Json::parse(request.body.empty() ? "{}" : request.body, &parse_error);
   if (!json.has_value()) return error_response(400, "invalid JSON: " + parse_error);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const TimePoint now = json->contains("now")
                             ? (*json)["now"].as_int()
                             : framework_->store().max_end_time() + 1;

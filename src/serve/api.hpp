@@ -23,13 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 
 #include "core/mcbound.hpp"
 #include "serve/server.hpp"
 #include "text/embedding_cache.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace mcb {
 
@@ -76,9 +76,12 @@ class ApiServer {
   HttpResponse handle_classify_batch(const HttpRequest& request);
   HttpResponse handle_train(const HttpRequest& request);
 
-  Framework* framework_;
+  /// The framework is not internally synchronized: every handler that
+  /// touches it (train, predict, encode, characterize, model info)
+  /// derefs under mutex_ — enforced at compile time by pt_guarded_by.
+  Framework* framework_ MCB_PT_GUARDED_BY(mutex_);
   HttpServer server_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
 
   mutable ShardedEmbeddingCache embedding_cache_;
   std::atomic<std::uint64_t> batch_requests_{0};  ///< /classify_batch calls served

@@ -57,7 +57,7 @@ Json latency_json(const Histogram& log10_us, double sum_us, double max_us,
 void ServerStats::record_route(const std::string& route_key, int status,
                                double seconds) {
   const double us = std::max(seconds * 1e6, 0.0);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   RouteStats& rs = routes_[route_key];
   ++rs.count;
   if (status >= 500) {
@@ -82,7 +82,7 @@ Json ServerStats::to_json() const {
 
   Json routes = Json::object();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [key, rs] : routes_) {
       Json entry = Json::object();
       entry.set("count", static_cast<std::int64_t>(rs.count));
@@ -159,7 +159,7 @@ Json HttpServer::stats_json() const {
 }
 
 std::size_t HttpServer::active_connections() const {
-  std::lock_guard lock(conn_mutex_);
+  MutexLock lock(conn_mutex_);
   return active_fds_.size();
 }
 
@@ -208,9 +208,12 @@ void HttpServer::stop() {
   // stragglers out of blocked recv/send via shutdown(). The fd itself is
   // closed only by the owning worker, so there is no reuse race.
   {
-    std::unique_lock lock(conn_mutex_);
-    drain_cv_.wait_for(lock, std::chrono::milliseconds(config_.drain_timeout_ms),
-                       [this] { return active_fds_.empty(); });
+    MutexLock lock(conn_mutex_);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+    while (!active_fds_.empty()) {
+      if (!drain_cv_.wait_until(conn_mutex_, deadline)) break;  // drain budget spent
+    }
     for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   // Queued-but-unstarted connections observe running_ == false and shed
@@ -226,7 +229,7 @@ void HttpServer::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       continue;
     }
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
     set_socket_timeout(fd, SO_RCVTIMEO, config_.recv_timeout_ms);
     set_socket_timeout(fd, SO_SNDTIMEO, config_.send_timeout_ms);
 
@@ -234,7 +237,7 @@ void HttpServer::accept_loop() {
     if (!pool_->try_submit(task, config_.max_pending)) {
       // Executor saturated: shed load here instead of queueing without
       // bound. Never block the accept path on worker progress.
-      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd, HttpResponse::json(503, R"({"error":"server overloaded"})"));
       ::close(fd);
     }
@@ -242,17 +245,21 @@ void HttpServer::accept_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
+  bool admitted = false;
   {
-    std::unique_lock lock(conn_mutex_);
-    if (!running_.load()) {
-      // stop() began while this connection sat in the pending queue.
-      lock.unlock();
-      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-      send_response(fd, HttpResponse::json(503, R"({"error":"server shutting down"})"));
-      ::close(fd);
-      return;
+    MutexLock lock(conn_mutex_);
+    if (running_.load()) {
+      active_fds_.insert(fd);
+      admitted = true;
     }
-    active_fds_.insert(fd);
+  }
+  if (!admitted) {
+    // stop() began while this connection sat in the pending queue. The
+    // 503 is sent outside the lock so a stalled client can't pin it.
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    send_response(fd, HttpResponse::json(503, R"({"error":"server shutting down"})"));
+    ::close(fd);
+    return;
   }
 
   const auto deadline =
@@ -300,36 +307,36 @@ void HttpServer::handle_connection(int fd) {
       const auto request = parse_http_request(received);
       if (request.has_value()) {
         if (send_response(fd, dispatch(*request))) {
-          stats_.handled.fetch_add(1, std::memory_order_relaxed);
+          stats_.handled.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
         }
       } else {
-        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
         send_response(fd, HttpResponse::json(400, R"({"error":"malformed request"})"));
       }
       break;
     }
     case Outcome::kTimeout:
-      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd, HttpResponse::json(408, R"({"error":"request timeout"})"));
       break;
     case Outcome::kTooLarge:
-      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd, HttpResponse::json(413, R"({"error":"request too large"})"));
       break;
     case Outcome::kBadFraming:
-      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd,
                     HttpResponse::json(400, R"({"error":"invalid content-length"})"));
       break;
     case Outcome::kClientGone:
       if (!received.empty()) {
-        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       }
       break;
   }
 
   {
-    std::lock_guard lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     active_fds_.erase(fd);
     if (active_fds_.empty()) drain_cv_.notify_all();
   }

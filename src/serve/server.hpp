@@ -17,15 +17,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
-#include <condition_variable>
 
 #include "serve/http.hpp"
 #include "util/histogram.hpp"
 #include "util/json.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mcb {
@@ -72,8 +71,8 @@ class ServerStats {
     // log10(latency in us) over [1us, 100s) — wide enough for /train.
     Histogram log10_us{0.0, 8.0, 32};
   };
-  mutable std::mutex mutex_;
-  std::map<std::string, RouteStats> routes_;
+  mutable Mutex mutex_;
+  std::map<std::string, RouteStats> routes_ MCB_GUARDED_BY(mutex_);
 };
 
 class HttpServer {
@@ -126,9 +125,9 @@ class HttpServer {
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex conn_mutex_;          // guards active_fds_
-  std::condition_variable drain_cv_;       // signalled when active_fds_ empties
-  std::unordered_set<int> active_fds_;
+  mutable Mutex conn_mutex_;
+  CondVar drain_cv_;  // signalled when active_fds_ empties
+  std::unordered_set<int> active_fds_ MCB_GUARDED_BY(conn_mutex_);
 
   mutable ServerStats stats_;
 };

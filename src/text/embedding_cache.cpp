@@ -25,26 +25,26 @@ const ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
 bool ShardedEmbeddingCache::lookup(std::string_view key, std::span<float> out) {
   Shard& shard = shard_for(key);
   {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
       const auto& embedding = it->second->second;
       if (out.size() == embedding.size()) {
         std::copy(embedding.begin(), embedding.end(), out.begin());
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
         return true;
       }
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
   return false;
 }
 
 void ShardedEmbeddingCache::insert(std::string_view key, std::span<const float> embedding) {
   if (embedding.size() != dim_) return;
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Refresh: promote and overwrite (identical content in practice —
@@ -56,17 +56,17 @@ void ShardedEmbeddingCache::insert(std::string_view key, std::span<const float> 
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
   }
   shard.lru.emplace_front(std::string(key),
                           std::vector<float>(embedding.begin(), embedding.end()));
   shard.index.emplace(shard.lru.front().first, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
 }
 
 void ShardedEmbeddingCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.index.clear();
     shard.lru.clear();
   }
@@ -75,7 +75,7 @@ void ShardedEmbeddingCache::clear() {
 std::size_t ShardedEmbeddingCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.lru.size();
   }
   return total;
@@ -83,10 +83,12 @@ std::size_t ShardedEmbeddingCache::size() const {
 
 ShardedEmbeddingCache::Stats ShardedEmbeddingCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  // Monotonic counters read independently; the snapshot has no
+  // cross-counter consistency requirement.
+  s.hits = hits_.load(std::memory_order_relaxed);            // relaxed: stat snapshot
+  s.misses = misses_.load(std::memory_order_relaxed);        // relaxed: stat snapshot
+  s.insertions = insertions_.load(std::memory_order_relaxed);  // relaxed: stat snapshot
+  s.evictions = evictions_.load(std::memory_order_relaxed);  // relaxed: stat snapshot
   return s;
 }
 

@@ -30,13 +30,14 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mcb {
 
@@ -85,13 +86,16 @@ class ShardedEmbeddingCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    /// Per-shard capability: each shard's state is guarded by its own
+    /// mutex, so touching one shard's LRU under another shard's lock is
+    /// a compile error on Clang, not a latent cross-shard race.
+    mutable Mutex mutex;
     /// Front = most recently used. The list owns the key string; the
     /// index refers into it.
-    std::list<std::pair<std::string, std::vector<float>>> lru;
+    std::list<std::pair<std::string, std::vector<float>>> lru MCB_GUARDED_BY(mutex);
     std::unordered_map<std::string, std::list<std::pair<std::string, std::vector<float>>>::iterator,
                        StringHash, std::equal_to<>>
-        index;
+        index MCB_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(std::string_view key) noexcept;

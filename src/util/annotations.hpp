@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis annotation macros (DESIGN.md §7,
+// "Compile-time lock discipline").
+//
+// These wrap the `capability`-family attributes so every concurrent
+// component in src/ can declare its locking contract — which mutex
+// guards which field, which private methods require a held lock — and
+// have the compiler prove the discipline on every Clang build
+// (-DMCB_THREAD_SAFETY=ON adds -Wthread-safety -Werror=thread-safety).
+// On GCC (and any compiler without the attributes) every macro expands
+// to nothing, so the annotations are zero-cost documentation there.
+//
+// The annotated wrappers that carry these attributes live in
+// util/sync.hpp (mcb::Mutex, mcb::SharedMutex, the scoped MutexLock /
+// ExclusiveLock / SharedLock guards, mcb::CondVar); library code uses
+// those, never raw std primitives (lint rule R6).
+#pragma once
+
+#if defined(__clang__)
+#define MCB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MCB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define MCB_CAPABILITY(x) MCB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (lock objects like mcb::MutexLock).
+#define MCB_SCOPED_CAPABILITY MCB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held (shared hold
+/// permits reads; exclusive hold permits writes).
+#define MCB_GUARDED_BY(x) MCB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define MCB_PT_GUARDED_BY(x) MCB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively on entry (and does
+/// not release it).
+#define MCB_REQUIRES(...) \
+  MCB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires at least a shared hold on entry.
+#define MCB_REQUIRES_SHARED(...) \
+  MCB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively) and holds it on exit.
+#define MCB_ACQUIRE(...) MCB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires a shared hold on the capability.
+#define MCB_ACQUIRE_SHARED(...) \
+  MCB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (either hold kind for scoped locks).
+#define MCB_RELEASE(...) MCB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold on the capability.
+#define MCB_RELEASE_SHARED(...) \
+  MCB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it iff the return value
+/// equals the first macro argument.
+#define MCB_TRY_ACQUIRE(...) \
+  MCB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define MCB_TRY_ACQUIRE_SHARED(...) \
+  MCB_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant public APIs that
+/// lock internally).
+#define MCB_EXCLUDES(...) MCB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define MCB_RETURN_CAPABILITY(x) MCB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Policy
+/// (DESIGN.md §7): only for code the analysis cannot model — each use
+/// carries a comment explaining why, and is reviewed like a cast.
+#define MCB_NO_THREAD_SAFETY_ANALYSIS \
+  MCB_THREAD_ANNOTATION(no_thread_safety_analysis)

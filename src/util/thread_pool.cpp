@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 
 namespace mcb {
@@ -17,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -26,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
@@ -34,7 +33,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::try_submit(std::function<void()>& task, std::size_t max_pending) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.size() + in_flight_ >= workers_.size() + max_pending) return false;
     queue_.push_back(std::move(task));
   }
@@ -43,18 +42,18 @@ bool ThreadPool::try_submit(std::function<void()>& task, std::size_t max_pending
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::in_flight() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return in_flight_;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.wait(mutex_);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -66,8 +65,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -75,7 +74,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -97,12 +96,14 @@ void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
 
   std::atomic<std::size_t> remaining{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   std::size_t launched = 0;
   for (std::size_t lo = begin; lo < end; lo += chunk_size) ++launched;
+  // relaxed: published before any task is submitted; the submit itself
+  // (mutex in ThreadPool::submit) orders it with the workers.
   remaining.store(launched, std::memory_order_relaxed);
 
   for (std::size_t lo = begin; lo < end; lo += chunk_size) {
@@ -111,17 +112,17 @@ void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
       try {
         chunk_fn(lo, hi);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
+        MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(done_mutex);
+  while (remaining.load(std::memory_order_acquire) != 0) done_cv.wait(done_mutex);
   if (first_error) std::rethrow_exception(first_error);
 }
 

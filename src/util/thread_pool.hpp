@@ -11,13 +11,13 @@
 //    may also request serial execution by passing concurrency 0/1.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace mcb {
 
@@ -57,13 +57,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only by ctor/dtor threads
+  mutable Mutex mutex_;
+  std::deque<std::function<void()>> queue_ MCB_GUARDED_BY(mutex_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ MCB_GUARDED_BY(mutex_) = 0;
+  bool stop_ MCB_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for every i in [begin, end) using the given pool, blocking

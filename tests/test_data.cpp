@@ -2,10 +2,13 @@
 // indexing/queries and the Data Fetcher.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "data/data_fetcher.hpp"
 #include "data/job_record.hpp"
@@ -391,6 +394,74 @@ TEST(StoreDataFetcher, RenderSqlMatchesQuery) {
   const std::string sql =
       StoreDataFetcher::render_sql(5, 10, JobQuery::TimeField::kEndTime);
   EXPECT_NE(sql.find("end_time >= 5"), std::string::npos);
+}
+
+// Regression for the latent unguarded-concurrent-access gap closed by
+// the store's SharedMutex: HTTP handlers read the store while ingest
+// appends. Under TSan (CI's MCB_SANITIZE=thread leg) the pre-lock store
+// raced here; the test also pins down result sanity either way. Some
+// inserts land out of end_time order on purpose, forcing lazy re-sorts
+// to happen *while* readers are mid-query.
+TEST(JobStore, ConcurrentReadersDuringInserts) {
+  constexpr std::uint64_t kJobs = 2000;
+  constexpr int kReaders = 4;
+  JobStore store;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kJobs; ++i) {
+      // Every 5th job completes "late" (out of order) to invalidate the
+      // sorted index under the readers' feet.
+      const auto submit = static_cast<TimePoint>(i * 100 + (i % 5 == 0 ? 7000 : 0));
+      store.insert(make_job(i, submit));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t probe = static_cast<std::uint64_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        JobQuery q;
+        q.field = r % 2 == 0 ? JobQuery::TimeField::kEndTime
+                             : JobQuery::TimeField::kSubmitTime;
+        q.start_time = 0;
+        q.end_time = static_cast<TimePoint>(kJobs * 200);
+        const auto jobs = store.query_records(q);
+        for (std::size_t i = 1; i < jobs.size(); ++i) {
+          const TimePoint prev = q.field == JobQuery::TimeField::kEndTime
+                                     ? jobs[i - 1].end_time
+                                     : jobs[i - 1].submit_time;
+          const TimePoint cur = q.field == JobQuery::TimeField::kEndTime
+                                    ? jobs[i].end_time
+                                    : jobs[i].submit_time;
+          ASSERT_LE(prev, cur);
+        }
+        const auto record = store.find_record(probe % kJobs);
+        if (record.has_value()) {
+          ASSERT_EQ(record->job_id, probe % kJobs);
+        }
+        probe += 13;
+        ASSERT_LE(store.min_end_time(), store.max_end_time());
+        ASSERT_LE(store.size(), kJobs);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(store.size(), kJobs);
+  // Post-hoc integrity: every job is findable and the full range scan
+  // sees all of them in order.
+  JobQuery q;
+  q.start_time = 0;
+  q.end_time = static_cast<TimePoint>(kJobs * 200);
+  EXPECT_EQ(store.query_records(q).size(), kJobs);
+  for (std::uint64_t i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(store.find_record(i).has_value());
+  }
 }
 
 }  // namespace

@@ -11,6 +11,15 @@
 //   R4  every public header under src/ is self-contained: `#include`ing
 //       it alone must compile (checked with `$CXX -fsyntax-only`).
 //   R5  every header uses `#pragma once`.
+//   R6  no raw std synchronization primitives (std::mutex, lock_guard,
+//       condition_variable, ...) in src/ outside util/sync.{hpp,cpp}:
+//       all locking goes through the annotated wrappers so Clang's
+//       thread-safety analysis sees every acquisition.
+//   R7  no std::thread::detach() anywhere: detached threads outlive
+//       shutdown and race teardown — join them.
+//   R8  every memory_order_relaxed carries a `// relaxed: <why>` comment
+//       on the same line or one of the two lines above it (checked on
+//       the raw text, since the justification is itself a comment).
 //
 // Exit status: 0 = clean, 1 = violations printed one per line as
 //   <file>:<line>: [R<n>] <message>
@@ -277,6 +286,80 @@ void check_no_swallowing_catch_all(const fs::path& file, std::string_view code) 
   }
 }
 
+// ------------------------------------------------------------------- R6
+// util/sync.{hpp,cpp} are the only files allowed to name the std
+// primitives they wrap; everything else locks through mcb::Mutex et al.
+bool is_sync_wrapper_file(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return p.parent_path().filename() == "util" &&
+         (name == "sync.hpp" || name == "sync.cpp");
+}
+
+void check_no_raw_std_sync(const fs::path& file, std::string_view code) {
+  static constexpr std::string_view kBanned[] = {
+      "mutex",       "shared_mutex",       "recursive_mutex",
+      "timed_mutex", "recursive_timed_mutex", "lock_guard",
+      "unique_lock", "scoped_lock",        "shared_lock",
+      "condition_variable", "condition_variable_any"};
+  for (const auto word : kBanned) {
+    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      if (pos < 5 || code.substr(pos - 5, 5) != "std::") continue;
+      report(file, line_of(code, pos), "R6",
+             "raw `std::" + std::string(word) +
+                 "` — lock through the annotated wrappers in util/sync.hpp "
+                 "so the thread-safety analysis sees it");
+    }
+  }
+}
+
+// ------------------------------------------------------------------- R7
+void check_no_thread_detach(const fs::path& file, std::string_view code) {
+  for (std::size_t pos = find_word(code, "detach", 0); pos != std::string_view::npos;
+       pos = find_word(code, "detach", pos + 1)) {
+    const char before = prev_nonspace(code, pos);
+    if (before != '.' && before != '>') continue;  // member call only
+    std::size_t after = pos + 6;
+    while (after < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+      ++after;
+    }
+    if (after >= code.size() || code[after] != '(') continue;
+    report(file, line_of(code, pos), "R7",
+           "`detach()` orphans the thread past shutdown — join it instead");
+  }
+}
+
+// ------------------------------------------------------------------- R8
+// Runs on the RAW file text (before comment stripping): the required
+// justification is a comment.
+void check_relaxed_order_justified(const fs::path& file, std::string_view raw) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t nl = raw.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? raw.size() : nl;
+    lines.push_back(raw.substr(start, end - start));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("memory_order_relaxed") == std::string_view::npos) continue;
+    bool justified = false;
+    for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
+      if (lines[i - back].find("relaxed:") != std::string_view::npos) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      report(file, i + 1, "R8",
+             "memory_order_relaxed without an adjacent `// relaxed: <why>` "
+             "justification");
+    }
+  }
+}
+
 // ------------------------------------------------------------------- R5
 void check_pragma_once(const fs::path& file, std::string_view code) {
   if (code.find("#pragma once") == std::string_view::npos) {
@@ -360,11 +443,15 @@ int main(int argc, char** argv) {
     if (!entry.is_regular_file()) continue;
     const fs::path& path = entry.path();
     if (!has_extension(path, ".cpp", ".hpp")) continue;
-    const std::string code = strip_comments_and_strings(read_file(path));
+    const std::string raw = read_file(path);
+    const std::string code = strip_comments_and_strings(raw);
     ++files_scanned;
     check_no_wallclock_or_libc_rand(path, code);
     check_no_naked_new_delete(path, code);
     check_no_swallowing_catch_all(path, code);
+    if (!is_sync_wrapper_file(path)) check_no_raw_std_sync(path, code);
+    check_no_thread_detach(path, code);
+    check_relaxed_order_justified(path, raw);
     if (has_extension(path, ".hpp")) {
       check_pragma_once(path, code);
       if (!opts.compiler.empty()) {
@@ -388,6 +475,7 @@ int main(int argc, char** argv) {
       ++files_scanned;
       check_no_naked_new_delete(path, code);
       check_no_swallowing_catch_all(path, code);
+      check_no_thread_detach(path, code);
     }
   }
 
