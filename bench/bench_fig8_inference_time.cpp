@@ -12,12 +12,14 @@
 // single-threaded so the ratio reflects the kernels and not core count.
 // With --json the headline metrics become the BENCH_inference.json
 // artifact gated by tools/bench_check in the bench-smoke CI job.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/feature_encoder.hpp"
 #include "ml/knn.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/trace.hpp"
 #include "text/embedding_cache.hpp"
 
 namespace {
@@ -161,6 +163,26 @@ int main(int argc, char** argv) {
   report.set("rf_s_per_job_alpha60", rf60);
 
   run_fast_path_section(workload_config, characterizer, encoder, rf_trees, report);
+
+  // Disabled-span overhead: the tracing tax every library call site pays
+  // when no request is in flight. Hard-gated by the baseline at 2x of
+  // 10 ns, i.e. a regression past ~20 ns/span fails CI.
+  {
+    constexpr std::size_t kSpanIters = 1'000'000;
+    const auto span_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kSpanIters; ++i) {
+      obs::Span span(obs::Stage::kEncode);
+      // Optimizer barrier: keep the Span object (and its dtor) live.
+      asm volatile("" : : "r"(&span) : "memory");  // NOLINT(hicpp-no-assembler)
+    }
+    const double span_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - span_start)
+            .count();
+    const double span_ns = span_s * 1e9 / static_cast<double>(kSpanIters);
+    std::printf("\ndisabled span overhead: %.1f ns/span (%zu iterations)\n", span_ns,
+                kSpanIters);
+    report.set("span_disabled_ns", span_ns);
+  }
 
   if (!json_path.empty()) {
     if (!report.write(json_path)) {

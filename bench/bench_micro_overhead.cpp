@@ -12,6 +12,7 @@
 #include "core/classification_model.hpp"
 #include "ml/knn.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/trace.hpp"
 #include "roofline/characterizer.hpp"
 #include "text/embedding_cache.hpp"
 #include "workload/generator.hpp"
@@ -186,6 +187,34 @@ void BM_EncodeBatchCached(benchmark::State& state) {
   state.SetLabel("sharded LRU, warm");
 }
 BENCHMARK(BM_EncodeBatchCached);
+
+/// The price every library call site pays when no request is in flight:
+/// one thread-local load + branch. The bench-smoke CI leg gates this at
+/// <= ~20 ns via the span_disabled_ns metric in bench_fig8's artifact.
+void BM_SpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span(obs::Stage::kEncode);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("no current trace: TLS load + branch");
+}
+BENCHMARK(BM_SpanDisabled);
+
+/// Full cost with a live trace installed: two steady-clock reads plus a
+/// histogram bucket update.
+void BM_SpanEnabled(benchmark::State& state) {
+  static obs::RequestTracer tracer;
+  obs::TraceContext trace = tracer.make_trace();
+  obs::TraceScope scope(&trace);
+  for (auto _ : state) {
+    obs::Span span(obs::Stage::kEncode);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("live trace: 2 clock reads + histogram add");
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_KnnTraining(benchmark::State& state) {
   auto& m = models();

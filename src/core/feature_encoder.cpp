@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mcb {
@@ -123,12 +124,17 @@ FeatureMatrix FeatureEncoder::encode_batch_cached(std::span<const JobRecord> job
   FeatureMatrix out(jobs.size(), dim());
   std::vector<std::string> keys(jobs.size());
   std::vector<std::size_t> misses;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    keys[i] = feature_string(jobs[i]);
-    if (!cache.lookup(keys[i], std::span<float>(out.row(i), dim()))) misses.push_back(i);
+  {
+    obs::Span lookup_span(obs::Stage::kCacheLookup);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      keys[i] = feature_string(jobs[i]);
+      if (!cache.lookup(keys[i], std::span<float>(out.row(i), dim()))) misses.push_back(i);
+    }
   }
   // Encoding misses is the expensive part; the cache is thread-safe so
-  // insertion happens inside the parallel region.
+  // insertion happens inside the parallel region. The span is measured
+  // on the calling thread, which blocks until the pool drains the batch.
+  obs::Span encode_span(obs::Stage::kEncode);
   parallel_for_each(
       pool, 0, misses.size(),
       [&](std::size_t m) {

@@ -1,5 +1,7 @@
 #include "core/mcbound.hpp"
 
+#include "obs/trace.hpp"
+
 namespace mcb {
 
 Framework::Framework(FrameworkConfig config, const JobStore& store, ThreadPool* pool)
@@ -49,9 +51,15 @@ std::optional<Boundedness> Framework::predict_job(const JobRecord& job) const {
 std::vector<Label> Framework::predict_batch(std::span<const JobRecord> jobs,
                                             ShardedEmbeddingCache* text_cache) const {
   if (!has_model() || jobs.empty()) return {};
-  const FeatureMatrix x = text_cache != nullptr
-                              ? encoder_.encode_batch_cached(jobs, *text_cache, pool_)
-                              : encoder_.encode_batch(jobs, nullptr, pool_);
+  FeatureMatrix x;
+  if (text_cache != nullptr) {
+    // encode_batch_cached opens its own kCacheLookup/kEncode spans.
+    x = encoder_.encode_batch_cached(jobs, *text_cache, pool_);
+  } else {
+    obs::Span encode_span(obs::Stage::kEncode);
+    x = encoder_.encode_batch(jobs, nullptr, pool_);
+  }
+  obs::Span classify_span(obs::Stage::kClassify);
   return model_->inference(x.view(), pool_);
 }
 

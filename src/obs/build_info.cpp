@@ -1,0 +1,28 @@
+#include "obs/build_info.hpp"
+
+#define MCB_STR_INNER(x) #x
+#define MCB_STR(x) MCB_STR_INNER(x)
+
+namespace mcb::obs {
+
+const char* build_compiler() noexcept {
+#if defined(__clang__)
+  return "clang " MCB_STR(__clang_major__) "." MCB_STR(__clang_minor__) "." MCB_STR(
+      __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " MCB_STR(__GNUC__) "." MCB_STR(__GNUC_MINOR__) "." MCB_STR(
+      __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_mode() noexcept {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace mcb::obs

@@ -1,0 +1,17 @@
+// Build/version identity surfaced by /metrics (mcb_build_info) and the
+// default JSON metrics view. The version is bumped when the serving
+// surface changes shape (new endpoints, metric renames), so dashboards
+// can key on it across rollouts.
+#pragma once
+
+namespace mcb::obs {
+
+inline constexpr const char* kBuildVersion = "0.5.0";
+
+/// Compiler identity captured at compile time ("clang 17.0.6", ...).
+const char* build_compiler() noexcept;
+
+/// Build type ("release"/"debug") from NDEBUG.
+const char* build_mode() noexcept;
+
+}  // namespace mcb::obs

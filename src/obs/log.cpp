@@ -1,0 +1,227 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/time.hpp"
+
+namespace mcb::log {
+namespace {
+
+std::int64_t system_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void stderr_sink(std::string_view line) {
+  // One fwrite per line keeps lines whole even across processes
+  // sharing the stream; the logger mutex already serializes threads.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+/// "2026-08-06T12:00:00.123Z" from epoch ns, built on util/time's civil
+/// conversion so there is exactly one calendar implementation.
+std::string format_ts(std::int64_t ns) {
+  const std::int64_t seconds =
+      ns >= 0 ? ns / 1'000'000'000 : (ns - 999'999'999) / 1'000'000'000;
+  const auto millis =
+      static_cast<std::int64_t>((ns - seconds * 1'000'000'000) / 1'000'000);
+  std::string ts = format_datetime(seconds);  // "YYYY-MM-DD HH:MM:SS"
+  if (ts.size() > 10) ts[10] = 'T';
+  char frac[8];
+  std::snprintf(frac, sizeof(frac), ".%03dZ", static_cast<int>(millis));
+  ts += frac;
+  return ts;
+}
+
+void append_field_value(std::string& out, const Field& field, bool json_mode) {
+  char buf[40];
+  switch (field.kind) {
+    case Field::Kind::kString:
+      out += '"';
+      out += json_escape(field.str);
+      out += '"';
+      break;
+    case Field::Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(field.i64));
+      out += buf;
+      break;
+    case Field::Kind::kUint:
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(field.u64));
+      out += buf;
+      break;
+    case Field::Kind::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.6g", field.f64);
+      out += buf;
+      break;
+    case Field::Kind::kBool:
+      out += field.b ? "true" : "false";
+      break;
+  }
+  (void)json_mode;
+}
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+std::optional<Level> parse_level(std::string_view text) noexcept {
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn" || text == "warning") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off" || text == "none") return Level::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() : Logger(Options()) {}
+
+Logger::Logger(Options options)
+    : level_(static_cast<std::uint8_t>(options.level)),
+      json_(options.json),
+      max_per_second_(options.max_per_second),
+      wall_ns_(options.wall_ns ? std::move(options.wall_ns)
+                               : std::function<std::int64_t()>(&system_now_ns)),
+      sink_(options.sink ? std::move(options.sink)
+                         : std::function<void(std::string_view)>(&stderr_sink)) {}
+
+std::string Logger::format_line(Level level, std::string_view component,
+                                std::string_view message,
+                                std::initializer_list<Field> fields,
+                                std::string_view trace_id,
+                                std::int64_t now_ns) const {
+  std::string out;
+  out.reserve(128);
+  if (json()) {
+    out += R"({"ts":")";
+    out += format_ts(now_ns);
+    out += R"(","level":")";
+    out += level_name(level);
+    out += R"(","component":")";
+    out += json_escape(component);
+    out += '"';
+    if (!trace_id.empty()) {
+      out += R"(,"trace_id":")";
+      out += json_escape(trace_id);
+      out += '"';
+    }
+    out += R"(,"msg":")";
+    out += json_escape(message);
+    out += '"';
+    for (const Field& field : fields) {
+      out += ",\"";
+      out += json_escape(field.key);
+      out += "\":";
+      append_field_value(out, field, /*json_mode=*/true);
+    }
+    out += '}';
+  } else {
+    out += format_ts(now_ns);
+    out += ' ';
+    char level_buf[8];
+    std::snprintf(level_buf, sizeof(level_buf), "%-5s", level_name(level));
+    out += level_buf;
+    out += " [";
+    out += component;
+    out += "] ";
+    out += message;
+    if (!trace_id.empty()) {
+      out += " trace_id=";
+      out += trace_id;
+    }
+    for (const Field& field : fields) {
+      out += ' ';
+      out += field.key;
+      out += '=';
+      append_field_value(out, field, /*json_mode=*/false);
+    }
+  }
+  return out;
+}
+
+void Logger::write(Level level, std::string_view component,
+                   std::string_view message, std::initializer_list<Field> fields,
+                   std::string_view trace_id) {
+  if (!enabled(level) || level == Level::kOff) return;
+  const std::int64_t now_ns = wall_ns_();
+  const std::int64_t second = now_ns / 1'000'000'000;
+  std::string summary;
+
+  {
+    MutexLock lock(mutex_);
+    if (second != window_second_) {
+      if (window_suppressed_ > 0) {
+        summary = format_line(
+            Level::kWarn, "log", "suppressed log lines",
+            {Field("suppressed", static_cast<std::uint64_t>(window_suppressed_)),
+             Field("max_per_second", static_cast<std::uint64_t>(max_per_second_))},
+            {}, now_ns);
+      }
+      window_second_ = second;
+      window_count_ = 0;
+      window_suppressed_ = 0;
+    }
+    if (max_per_second_ > 0 && window_count_ >= max_per_second_) {
+      ++window_suppressed_;
+      suppressed_total_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      return;
+    }
+    ++window_count_;
+    const std::string line =
+        format_line(level, component, message, fields, trace_id, now_ns);
+    // Emit under the mutex so concurrent writers cannot interleave
+    // lines on a shared sink.
+    if (!summary.empty()) sink_(summary);
+    sink_(line);
+  }
+}
+
+Logger& global() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+
+std::string_view current_trace_id() {
+  const obs::TraceContext* trace = obs::current_trace();
+  return trace != nullptr ? std::string_view(trace->id()) : std::string_view();
+}
+
+}  // namespace
+
+void debug(std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields) {
+  global().write(Level::kDebug, component, message, fields, current_trace_id());
+}
+
+void info(std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields) {
+  global().write(Level::kInfo, component, message, fields, current_trace_id());
+}
+
+void warn(std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields) {
+  global().write(Level::kWarn, component, message, fields, current_trace_id());
+}
+
+void error(std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields) {
+  global().write(Level::kError, component, message, fields, current_trace_id());
+}
+
+}  // namespace mcb::log

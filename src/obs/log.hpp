@@ -1,0 +1,154 @@
+// mcb::log — leveled structured logging (DESIGN.md §10).
+//
+// One JSON object per line on the configured sink (stderr by default):
+//
+//   {"ts":"2026-08-06T12:00:00.123Z","level":"info","component":"serve",
+//    "trace_id":"ab12...","msg":"listening","port":8080}
+//
+// or, with JSON mode off, a human-oriented single line:
+//
+//   2026-08-06T12:00:00.123Z INFO  [serve] listening port=8080
+//
+// Time comes through an injected wall-clock seam (tests pin it; library
+// rule R1 keeps ambient wall-clock reads out of everything else).
+// Each sink carries a token-bucket rate limiter: past `max_per_second`
+// lines in one wall-clock second, messages are dropped and a single
+// summary line ("suppressed N log lines") is emitted when the window
+// rolls over — a hot error path cannot flood the sink.
+//
+// R9 (mcbound_lint): src/ code outside src/obs/ and src/util/cli.cpp
+// must not write to stdout/stderr directly; it goes through mcb::log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/sync.hpp"
+
+namespace mcb::log {
+
+enum class Level : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+const char* level_name(Level level) noexcept;
+std::optional<Level> parse_level(std::string_view text) noexcept;
+
+/// One structured key/value. The constructors cover the value types the
+/// call sites need; everything renders as native JSON types.
+struct Field {
+  enum class Kind : std::uint8_t { kString, kInt, kUint, kDouble, kBool };
+
+  Field(std::string key, std::string_view value)
+      : key(std::move(key)), kind(Kind::kString), str(value) {}
+  Field(std::string key, const char* value)
+      : Field(std::move(key), std::string_view(value != nullptr ? value : "")) {}
+  Field(std::string key, const std::string& value)
+      : Field(std::move(key), std::string_view(value)) {}
+  Field(std::string key, std::int64_t value)
+      : key(std::move(key)), kind(Kind::kInt), i64(value) {}
+  Field(std::string key, int value) : Field(std::move(key), static_cast<std::int64_t>(value)) {}
+  Field(std::string key, std::uint64_t value)
+      : key(std::move(key)), kind(Kind::kUint), u64(value) {}
+  Field(std::string key, double value)
+      : key(std::move(key)), kind(Kind::kDouble), f64(value) {}
+  Field(std::string key, bool value) : key(std::move(key)), kind(Kind::kBool), b(value) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+};
+
+/// A logger instance: level filter, format, sink, rate limiter, clock.
+/// All methods are thread-safe; line emission is serialized so lines
+/// never interleave.
+class Logger {
+ public:
+  struct Options {
+    Level level = Level::kInfo;
+    bool json = true;
+    std::size_t max_per_second = 500;  ///< per-sink rate limit (0 = off)
+    /// Wall clock in ns since the Unix epoch; defaults to system_clock.
+    std::function<std::int64_t()> wall_ns;
+    /// Receives one complete line (no trailing newline); defaults to
+    /// stderr. Must be callable from any thread.
+    std::function<void(std::string_view)> sink;
+  };
+
+  Logger();  // defaults: kInfo, JSON, stderr sink, system clock
+  explicit Logger(Options options);
+
+  Level level() const noexcept {
+    // relaxed: a racing set_level just means one line more or less
+    return static_cast<Level>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(Level level) noexcept {
+    // relaxed: see level()
+    level_.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+  }
+  bool json() const noexcept {
+    // relaxed: format flag, no ordering dependency
+    return json_.load(std::memory_order_relaxed);
+  }
+  void set_json(bool json) noexcept {
+    // relaxed: see json()
+    json_.store(json, std::memory_order_relaxed);
+  }
+
+  bool enabled(Level level) const noexcept {
+    return static_cast<std::uint8_t>(level) >=
+           static_cast<std::uint8_t>(this->level());
+  }
+
+  /// Emit one structured line. `trace_id` is included when non-empty
+  /// (call sites pass obs::current_trace()->id() when in a request).
+  void write(Level level, std::string_view component, std::string_view message,
+             std::initializer_list<Field> fields = {}, std::string_view trace_id = {});
+
+  /// Lines dropped by the rate limiter since construction.
+  std::uint64_t suppressed_total() const noexcept {
+    // relaxed: monotonic stat counter
+    return suppressed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string format_line(Level level, std::string_view component,
+                          std::string_view message,
+                          std::initializer_list<Field> fields,
+                          std::string_view trace_id, std::int64_t now_ns) const;
+
+  std::atomic<std::uint8_t> level_;
+  std::atomic<bool> json_;
+  std::size_t max_per_second_;
+  std::function<std::int64_t()> wall_ns_;
+  std::function<void(std::string_view)> sink_;
+
+  mutable Mutex mutex_;
+  std::int64_t window_second_ MCB_GUARDED_BY(mutex_) = 0;
+  std::size_t window_count_ MCB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t window_suppressed_ MCB_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::uint64_t> suppressed_total_{0};
+};
+
+/// The process-wide logger used by the library call sites below.
+Logger& global();
+
+/// Convenience wrappers over global() — the trace id is picked up from
+/// the thread's current trace automatically.
+void debug(std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields = {});
+void info(std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields = {});
+void warn(std::string_view component, std::string_view message,
+          std::initializer_list<Field> fields = {});
+void error(std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields = {});
+
+}  // namespace mcb::log

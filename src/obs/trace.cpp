@@ -1,0 +1,272 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace mcb::obs {
+namespace {
+
+thread_local TraceContext* t_current_trace = nullptr;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool id_char_ok(char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.';
+}
+
+void copy_bounded(char* dst, std::size_t capacity, std::string_view src) {
+  const std::size_t n = std::min(capacity, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kRoute: return "route";
+    case Stage::kEncode: return "encode";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kClassify: return "classify";
+    case Stage::kSerialize: return "serialize";
+  }
+  return "unknown";
+}
+
+void TraceContext::adopt_id(std::string_view client_id) {
+  std::string sanitized;
+  sanitized.reserve(std::min(client_id.size(), TraceRecord::kIdCapacity));
+  for (const char c : client_id) {
+    if (sanitized.size() >= TraceRecord::kIdCapacity) break;
+    if (id_char_ok(c)) sanitized += c;
+  }
+  if (!sanitized.empty()) id_ = std::move(sanitized);
+}
+
+TraceContext* current_trace() noexcept { return t_current_trace; }
+
+TraceScope::TraceScope(TraceContext* trace) noexcept : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
+
+Span::Span(TraceContext* trace, Stage stage) noexcept
+    : trace_(trace), stage_(stage) {
+  if (trace_ != nullptr) start_ns_ = trace_->tracer_->now_ns();
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  const std::uint64_t end_ns = trace_->tracer_->now_ns();
+  const std::uint64_t elapsed = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  const auto index = static_cast<std::size_t>(stage_);
+  trace_->stage_ns_[index] += elapsed;
+  ++trace_->stage_calls_[index];
+  trace_->tracer_->record_stage(stage_, elapsed);
+}
+
+RequestTracer::RequestTracer(TracerConfig config)
+    : config_(config), clock_(&steady_now_ns) {
+  if (config_.recorder_shards == 0) config_.recorder_shards = 1;
+  if (config_.recorder_slots < config_.recorder_shards) {
+    config_.recorder_slots = config_.recorder_shards;
+  }
+  // Per-process random prefix so IDs from restarted servers don't
+  // collide; std::random_device is entropy, not the banned libc rand.
+  std::random_device device;
+  id_base_ = (static_cast<std::uint64_t>(device()) << 32) ^ device();
+  shards_ = std::vector<Shard>(config_.recorder_shards);
+  const std::size_t per_shard =
+      (config_.recorder_slots + config_.recorder_shards - 1) / config_.recorder_shards;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.slots.resize(per_shard);
+  }
+}
+
+void RequestTracer::set_clock(std::function<std::uint64_t()> clock) {
+  clock_ = clock ? std::move(clock) : std::function<std::uint64_t()>(&steady_now_ns);
+}
+
+TraceContext RequestTracer::make_trace(std::string_view client_id) {
+  TraceContext trace;
+  trace.tracer_ = this;
+  trace.start_ns_ = now_ns();
+  // relaxed: uniqueness only needs atomicity of the increment
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx-%08llx",
+                static_cast<unsigned long long>(id_base_),
+                static_cast<unsigned long long>(seq));
+  trace.id_ = buf;
+  trace.adopt_id(client_id);
+  return trace;
+}
+
+void RequestTracer::record_stage(Stage stage, std::uint64_t ns) noexcept {
+  StageHist& hist = stages_[static_cast<std::size_t>(stage)];
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  std::size_t bucket = kBucketBounds.size();  // +Inf
+  for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
+    if (seconds <= kBucketBounds[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  // relaxed: independent monotonic histogram cells; scrapes tolerate a
+  // momentarily inconsistent count/sum pair.
+  hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);      // relaxed: see above
+  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);    // relaxed: see above
+}
+
+void RequestTracer::finish(TraceContext& trace, int status, std::string_view route) {
+  const std::uint64_t end_ns = now_ns();
+  const std::uint64_t total =
+      end_ns >= trace.start_ns_ ? end_ns - trace.start_ns_ : 0;
+
+  const bool errored = config_.record_errors && status >= 400;
+  const bool slow = total >= config_.slow_threshold_ns;
+  if (!errored && !slow) return;
+
+  // relaxed: the sequence only orders retained records; the shard mutex
+  // publishes the slot contents.
+  const std::uint64_t seq = recorded_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = shards_[seq % shards_.size()];
+  MutexLock lock(shard.mutex);
+  TraceRecord& slot = shard.slots[shard.next];
+  shard.next = (shard.next + 1) % shard.slots.size();
+  copy_bounded(slot.id, TraceRecord::kIdCapacity, trace.id_);
+  copy_bounded(slot.route, TraceRecord::kRouteCapacity, route);
+  slot.status = status;
+  slot.total_ns = total;
+  slot.stage_ns = trace.stage_ns_;
+  slot.stage_calls = trace.stage_calls_;
+  slot.seq = seq;
+  slot.used = true;
+}
+
+Json RequestTracer::debug_requests_json(std::size_t limit) const {
+  std::vector<TraceRecord> records;
+  records.reserve(config_.recorder_slots);
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    for (const auto& slot : shard.slots) {
+      if (slot.used) records.push_back(slot);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) { return a.seq > b.seq; });
+  if (records.size() > limit) records.resize(limit);
+
+  Json list = Json::array();
+  for (const auto& record : records) {
+    Json entry = Json::object();
+    entry.set("trace_id", record.id);
+    entry.set("route", record.route);
+    entry.set("status", record.status);
+    entry.set("total_us", static_cast<double>(record.total_ns) * 1e-3);
+    Json stages = Json::object();
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      if (record.stage_calls[s] == 0) continue;
+      Json stage = Json::object();
+      stage.set("us", static_cast<double>(record.stage_ns[s]) * 1e-3);
+      stage.set("calls", static_cast<std::int64_t>(record.stage_calls[s]));
+      stages.set(stage_name(static_cast<Stage>(s)), stage);
+    }
+    entry.set("stages", stages);
+    list.push_back(entry);
+  }
+  Json out = Json::object();
+  out.set("count", static_cast<std::int64_t>(list.size()));
+  out.set("slow_threshold_us",
+          static_cast<double>(config_.slow_threshold_ns) * 1e-3);
+  out.set("recorded_total", static_cast<std::int64_t>(traces_recorded()));
+  out.set("requests", list);
+  return out;
+}
+
+void RequestTracer::collect_metrics(std::vector<MetricFamily>& out) const {
+  MetricFamily family;
+  family.name = "mcb_stage_duration_seconds";
+  family.help = "Per-stage request latency (parse/route/encode/cache/classify/serialize)";
+  family.type = MetricType::kHistogram;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageHist& hist = stages_[s];
+    MetricPoint point;
+    point.labels = {{"stage", stage_name(static_cast<Stage>(s))}};
+    point.bounds.assign(kBucketBounds.begin(), kBucketBounds.end());
+    std::uint64_t running = 0;
+    point.cumulative.reserve(kBucketBounds.size());
+    for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
+      // relaxed: scrape-time read of monotonic cells
+      running += hist.buckets[b].load(std::memory_order_relaxed);
+      point.cumulative.push_back(running);
+    }
+    // The +Inf bucket: everything, including samples past the last edge.
+    point.count = hist.count.load(std::memory_order_relaxed);  // relaxed: see above
+    // A scrape racing an insert can observe count < cumulative tail;
+    // clamp so the exposition stays monotone.
+    if (point.count < running) point.count = running;
+    point.sum =
+        static_cast<double>(hist.sum_ns.load(std::memory_order_relaxed)) * 1e-9;  // relaxed: see above
+    family.points.push_back(std::move(point));
+  }
+  out.push_back(std::move(family));
+}
+
+Json RequestTracer::stages_json() const {
+  Json out = Json::object();
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageHist& hist = stages_[s];
+    // relaxed: scrape-time reads of monotonic stat cells
+    const std::uint64_t count = hist.count.load(std::memory_order_relaxed);
+    const std::uint64_t sum_ns = hist.sum_ns.load(std::memory_order_relaxed);  // relaxed: see above
+    Json stage = Json::object();
+    stage.set("count", static_cast<std::int64_t>(count));
+    stage.set("total_us", static_cast<double>(sum_ns) * 1e-3);
+    stage.set("mean_us",
+              count > 0 ? static_cast<double>(sum_ns) * 1e-3 / static_cast<double>(count) : 0.0);
+    // Quantiles interpolated inside the containing bucket.
+    const auto quantile_us = [&](double q) {
+      if (count == 0) return 0.0;
+      auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+      if (target == 0) target = 1;
+      if (target > count) target = count;
+      std::uint64_t running = 0;
+      double lower = 0.0;
+      for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
+        const std::uint64_t in_bucket =
+            hist.buckets[b].load(std::memory_order_relaxed);  // relaxed: see above
+        if (running + in_bucket >= target) {
+          const double upper = kBucketBounds[b];
+          const double frac =
+              in_bucket == 0 ? 1.0
+                             : static_cast<double>(target - running) /
+                                   static_cast<double>(in_bucket);
+          return (lower + (upper - lower) * frac) * 1e6;
+        }
+        running += in_bucket;
+        lower = kBucketBounds[b];
+      }
+      return kBucketBounds.back() * 1e6;
+    };
+    stage.set("p50_us", quantile_us(0.50));
+    stage.set("p99_us", quantile_us(0.99));
+    out.set(stage_name(static_cast<Stage>(s)), stage);
+  }
+  return out;
+}
+
+}  // namespace mcb::obs

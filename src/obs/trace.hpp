@@ -1,0 +1,223 @@
+// Request tracing (DESIGN.md §10): per-request trace IDs, RAII stage
+// spans, per-stage latency histograms, and a fixed-size flight recorder
+// retaining the most recent slow/errored traces.
+//
+// Model: the serving layer creates one TraceContext per request (the ID
+// is adopted from an X-Request-Id header or generated) and installs it
+// as the thread's current trace (TraceScope). Any code on that thread —
+// the router, the handler, the encoder, the classifier — opens a
+// Span(stage) that measures steady-clock time into the context's stage
+// slot and the tracer's per-stage histogram. When no trace is current
+// (training workflows, benchmarks, tests calling library code
+// directly), a Span costs one thread-local load and a branch — the
+// disabled-span overhead is gated at <= ~20 ns by bench_check.
+//
+// finish() feeds the flight recorder: a mutex-sharded ring buffer of
+// fixed-size slots (no allocation beyond copying into the pre-sized
+// slot) that keeps the last N traces that were slow (>= threshold) or
+// errored (status >= 400), with per-stage breakdowns, served as JSON by
+// GET /debug/requests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/sync.hpp"
+
+namespace mcb::obs {
+
+/// Request pipeline stages (paper §III: the online inference path).
+/// Stages may nest (kEncode contains the cache-miss encoding that
+/// kCacheLookup precedes), so stage times are attributions, not a
+/// partition of wall time.
+enum class Stage : std::uint8_t {
+  kParse = 0,    ///< HTTP + body JSON parsing
+  kRoute,        ///< routing-table lookup / method match
+  kEncode,       ///< feature-string hashing into the embedding
+  kCacheLookup,  ///< sharded embedding-cache probe
+  kClassify,     ///< KNN / flat-forest inference
+  kSerialize,    ///< response serialization
+};
+inline constexpr std::size_t kStageCount = 6;
+
+const char* stage_name(Stage stage) noexcept;
+
+class RequestTracer;
+
+/// Per-request trace state. Created by RequestTracer::make_trace() on
+/// the request thread; spans accumulate into the stage slots without
+/// synchronization (one trace is owned by one thread at a time).
+class TraceContext {
+ public:
+  const std::string& id() const noexcept { return id_; }
+  /// Adopt a client-supplied ID (sanitized + truncated); empty keeps
+  /// the generated one.
+  void adopt_id(std::string_view client_id);
+
+  /// Bounded route key recorded by the router ("POST /predict",
+  /// "(unmatched)") — never the raw attacker-controlled path.
+  void set_route(std::string_view route) { route_.assign(route); }
+  const std::string& route() const noexcept { return route_; }
+
+  std::uint64_t stage_ns(Stage stage) const noexcept {
+    return stage_ns_[static_cast<std::size_t>(stage)];
+  }
+  std::uint32_t stage_calls(Stage stage) const noexcept {
+    return stage_calls_[static_cast<std::size_t>(stage)];
+  }
+  RequestTracer* tracer() const noexcept { return tracer_; }
+
+ private:
+  friend class RequestTracer;
+  friend class Span;
+
+  RequestTracer* tracer_ = nullptr;
+  std::string id_;
+  std::string route_;
+  std::uint64_t start_ns_ = 0;
+  std::array<std::uint64_t, kStageCount> stage_ns_{};
+  std::array<std::uint32_t, kStageCount> stage_calls_{};
+};
+
+/// The thread's current trace, or nullptr outside a request.
+TraceContext* current_trace() noexcept;
+
+/// RAII installer for the thread-local current trace (restores the
+/// previous one, so nested scopes — socketless dispatch from inside a
+/// handler — behave).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext* trace) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext* previous_;
+};
+
+/// RAII stage timer. The one-argument form binds to the thread's
+/// current trace; when none is installed the span is disabled and costs
+/// a thread-local read plus a branch.
+class Span {
+ public:
+  explicit Span(Stage stage) noexcept : Span(current_trace(), stage) {}
+  Span(TraceContext* trace, Stage stage) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceContext* trace_;
+  Stage stage_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// One retained trace in the flight recorder. Fixed-size POD slot: the
+/// hot-path copy into it allocates nothing.
+struct TraceRecord {
+  static constexpr std::size_t kIdCapacity = 64;
+  static constexpr std::size_t kRouteCapacity = 64;
+
+  char id[kIdCapacity + 1] = {};
+  char route[kRouteCapacity + 1] = {};
+  int status = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, kStageCount> stage_ns{};
+  std::array<std::uint32_t, kStageCount> stage_calls{};
+  std::uint64_t seq = 0;  ///< admission order (monotone across shards)
+  bool used = false;
+};
+
+struct TracerConfig {
+  std::size_t recorder_slots = 128;        ///< total ring capacity
+  std::size_t recorder_shards = 4;         ///< independent mutexed rings
+  std::uint64_t slow_threshold_ns = 10'000'000;  ///< retain when >= (10 ms)
+  bool record_errors = true;               ///< retain any status >= 400
+};
+
+/// Owns the per-stage latency histograms (lock-free atomics) and the
+/// flight recorder. One per HttpServer; registered as a Collector so
+/// the stage histograms appear on /metrics in both formats.
+class RequestTracer final : public Collector {
+ public:
+  explicit RequestTracer(TracerConfig config = {});
+
+  /// Start a trace on the current thread; `client_id` non-empty adopts
+  /// the client's ID, otherwise a process-unique one is generated.
+  TraceContext make_trace(std::string_view client_id = {});
+
+  /// Complete a trace: feeds the flight recorder when the request was
+  /// slow or errored. `route` is the bounded route key ("POST /predict"
+  /// or "(unmatched)"), never the raw attacker-controlled path.
+  void finish(TraceContext& trace, int status, std::string_view route);
+
+  /// Record a stage sample into the histograms without a trace context
+  /// (used by Span; exposed for tests).
+  void record_stage(Stage stage, std::uint64_t ns) noexcept;
+
+  /// Current steady time through the clock seam, in ns.
+  std::uint64_t now_ns() const { return clock_(); }
+
+  /// Replace the steady-clock seam (tests inject a fake clock). Not
+  /// thread-safe; call before serving starts.
+  void set_clock(std::function<std::uint64_t()> clock);
+
+  const TracerConfig& config() const noexcept { return config_; }
+  std::uint64_t traces_started() const noexcept {
+    // relaxed: monotonic stat counter, no ordering needed
+    return seq_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t traces_recorded() const noexcept {
+    // relaxed: monotonic stat counter, no ordering needed
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// The newest retained traces (most recent first), at most `limit`.
+  /// {"count":N,"requests":[{id,route,status,total_us,stages:{...}}]}
+  Json debug_requests_json(std::size_t limit = 32) const;
+
+  /// Per-stage latency histograms as mcb_stage_duration_seconds.
+  void collect_metrics(std::vector<MetricFamily>& out) const override;
+
+  /// JSON summary of the stage histograms for the default /metrics view:
+  /// {stage: {count, total_us, p50_us, p99_us}}.
+  Json stages_json() const;
+
+ private:
+  // Finite bucket upper bounds in seconds for stage latencies: 1 us ..
+  // 4 s in x4 steps — spans two decades around the paper's per-job
+  // costs (characterize ~1e-6 s, SBERT encode ~2e-3 s).
+  static constexpr std::array<double, 12> kBucketBounds = {
+      1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1.0, 4.0};
+
+  struct StageHist {
+    std::array<std::atomic<std::uint64_t>, kBucketBounds.size() + 1> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+  };
+
+  struct Shard {
+    mutable Mutex mutex;
+    std::vector<TraceRecord> slots MCB_GUARDED_BY(mutex);
+    std::size_t next MCB_GUARDED_BY(mutex) = 0;
+  };
+
+  TracerConfig config_;
+  std::function<std::uint64_t()> clock_;
+  std::uint64_t id_base_ = 0;  ///< random per-process prefix for generated IDs
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::array<StageHist, kStageCount> stages_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mcb::obs

@@ -1,5 +1,8 @@
 #include "serve/api.hpp"
 
+#include "obs/build_info.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace mcb {
@@ -90,11 +93,108 @@ ApiServer::ApiServer(Framework& framework, ServerConfig server_config,
                      EmbeddingCacheConfig cache_config)
     : framework_(&framework),
       server_(server_config),
-      embedding_cache_(framework.encoder().dim(), cache_config) {
+      embedding_cache_(framework.encoder().dim(), cache_config),
+      app_collector_([this](std::vector<obs::MetricFamily>& out) {
+        collect_app_metrics(out);
+      }) {
+  registry_.add(&server_.stats());
+  registry_.add(&server_.tracer());
+  registry_.add(&app_collector_);
   install_routes();
 }
 
-bool ApiServer::start(int port) { return server_.start(port); }
+bool ApiServer::start(int port) {
+  if (!server_.start(port)) return false;
+  start_ns_.store(server_.tracer().now_ns());
+  return true;
+}
+
+double ApiServer::uptime_seconds() const {
+  const std::uint64_t started = start_ns_.load();
+  if (started == 0) return 0.0;
+  const std::uint64_t now = server_.tracer().now_ns();
+  return now > started ? static_cast<double>(now - started) * 1e-9 : 0.0;
+}
+
+void ApiServer::collect_app_metrics(std::vector<obs::MetricFamily>& out) const {
+  {
+    obs::MetricFamily ops;
+    ops.name = "mcb_embedding_cache_ops_total";
+    ops.help = "Embedding-cache operations by kind.";
+    ops.type = obs::MetricType::kCounter;
+    const auto stats = embedding_cache_.stats();
+    const std::pair<const char*, std::uint64_t> kinds[] = {
+        {"hit", stats.hits},
+        {"miss", stats.misses},
+        {"insert", stats.insertions},
+        {"evict", stats.evictions},
+    };
+    for (const auto& [kind, value] : kinds) {
+      ops.points.push_back(
+          obs::scalar_point({{"op", kind}}, static_cast<double>(value)));
+    }
+    out.push_back(std::move(ops));
+
+    obs::MetricFamily size;
+    size.name = "mcb_embedding_cache_entries";
+    size.help = "Embedding-cache entries (current / capacity).";
+    size.type = obs::MetricType::kGauge;
+    size.points.push_back(obs::scalar_point(
+        {{"kind", "current"}}, static_cast<double>(embedding_cache_.size())));
+    size.points.push_back(obs::scalar_point(
+        {{"kind", "capacity"}}, static_cast<double>(embedding_cache_.capacity())));
+    out.push_back(std::move(size));
+  }
+
+  {
+    obs::MetricFamily batches;
+    batches.name = "mcb_classify_batch_jobs_total";
+    batches.help = "Jobs classified through POST /classify_batch.";
+    batches.type = obs::MetricType::kCounter;
+    batches.points.push_back(
+        obs::scalar_point({}, static_cast<double>(batch_jobs_.load())));
+    out.push_back(std::move(batches));
+
+    obs::MetricFamily requests;
+    requests.name = "mcb_classify_batch_requests_total";
+    requests.help = "POST /classify_batch requests served.";
+    requests.type = obs::MetricType::kCounter;
+    requests.points.push_back(
+        obs::scalar_point({}, static_cast<double>(batch_requests_.load())));
+    out.push_back(std::move(requests));
+  }
+
+  {
+    obs::MetricFamily uptime;
+    uptime.name = "mcb_uptime_seconds";
+    uptime.help = "Seconds since the server started listening.";
+    uptime.type = obs::MetricType::kGauge;
+    uptime.points.push_back(obs::scalar_point({}, uptime_seconds()));
+    out.push_back(std::move(uptime));
+
+    obs::MetricFamily ready;
+    ready.name = "mcb_ready";
+    ready.help = "1 once a trained model is loaded (readiness probe).";
+    ready.type = obs::MetricType::kGauge;
+    bool is_ready = false;
+    {
+      MutexLock lock(mutex_);
+      is_ready = framework_->has_model();
+    }
+    ready.points.push_back(obs::scalar_point({}, is_ready ? 1.0 : 0.0));
+    out.push_back(std::move(ready));
+
+    obs::MetricFamily build;
+    build.name = "mcb_build_info";
+    build.help = "Constant 1; build metadata in the labels.";
+    build.type = obs::MetricType::kGauge;
+    build.points.push_back(obs::scalar_point({{"version", obs::kBuildVersion},
+                                              {"compiler", obs::build_compiler()},
+                                              {"mode", obs::build_mode()}},
+                                             1.0));
+    out.push_back(std::move(build));
+  }
+}
 
 void ApiServer::install_routes() {
   server_.route("GET", "/health",
@@ -112,9 +212,63 @@ void ApiServer::install_routes() {
   server_.route("POST", "/encode",
                 [this](const HttpRequest& r) { return handle_encode(r); });
   server_.route("GET", "/jobs", [this](const HttpRequest& r) { return handle_jobs(r); });
-  // Observability: no framework lock — executor/server state + app counters.
+  // Observability: /metrics and /debug/requests take no framework lock —
+  // executor/server state + app counters only. /healthz is liveness
+  // (trivially 200 once the listener answers); /readyz gates on a
+  // trained model being loaded.
   server_.route("GET", "/metrics",
-                [this](const HttpRequest&) { return HttpResponse::json(200, metrics().dump()); });
+                [this](const HttpRequest& r) { return handle_metrics(r); });
+  server_.route("GET", "/healthz",
+                [this](const HttpRequest& r) { return handle_healthz(r); });
+  server_.route("GET", "/readyz",
+                [this](const HttpRequest& r) { return handle_readyz(r); });
+  server_.route("GET", "/debug/requests",
+                [this](const HttpRequest& r) { return handle_debug_requests(r); });
+}
+
+HttpResponse ApiServer::handle_healthz(const HttpRequest&) {
+  return HttpResponse::json(200, R"({"status":"ok"})");
+}
+
+HttpResponse ApiServer::handle_readyz(const HttpRequest&) {
+  bool is_ready = false;
+  {
+    MutexLock lock(mutex_);
+    is_ready = framework_->has_model();
+  }
+  if (!is_ready) {
+    return HttpResponse::json(
+        503, R"({"ready":false,"reason":"no trained model; POST /train first"})");
+  }
+  return HttpResponse::json(200, R"({"ready":true})");
+}
+
+HttpResponse ApiServer::handle_metrics(const HttpRequest& request) {
+  // format=prometheus selects the text exposition; default stays JSON.
+  for (const auto& pair : split(request.query, '&')) {
+    if (pair == "format=prometheus") {
+      HttpResponse response;
+      response.status = 200;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::render_prometheus(registry_.gather());
+      return response;
+    }
+  }
+  return HttpResponse::json(200, metrics().dump());
+}
+
+HttpResponse ApiServer::handle_debug_requests(const HttpRequest& request) {
+  std::int64_t limit = 32;
+  for (const auto& pair : split(request.query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == "limit") {
+      parse_i64(pair.substr(eq + 1), limit);
+    }
+  }
+  if (limit < 1) limit = 1;
+  if (limit > 1024) limit = 1024;
+  return HttpResponse::json(
+      200, server_.tracer().debug_requests_json(static_cast<std::size_t>(limit)).dump());
 }
 
 Json ApiServer::metrics() const {
@@ -136,6 +290,13 @@ Json ApiServer::metrics() const {
   app.set("embedding_cache", cache);
   app.set("classify_batch", batch);
   out.set("app", app);
+  out.set("stages", server_.tracer().stages_json());
+  out.set("uptime_seconds", uptime_seconds());
+  Json build = Json::object();
+  build.set("version", obs::kBuildVersion);
+  build.set("compiler", obs::build_compiler());
+  build.set("mode", obs::build_mode());
+  out.set("build", build);
   return out;
 }
 
@@ -251,7 +412,11 @@ HttpResponse ApiServer::handle_characterize(const HttpRequest& request) {
 
 HttpResponse ApiServer::handle_predict(const HttpRequest& request) {
   HttpResponse error;
-  const auto job = parse_job_body(request, error);
+  std::optional<JobRecord> job;
+  {
+    obs::Span parse_span(obs::Stage::kParse);
+    job = parse_job_body(request, error);
+  }
   if (!job.has_value()) return error;
 
   MutexLock lock(mutex_);
@@ -274,7 +439,11 @@ HttpResponse ApiServer::handle_classify_batch(const HttpRequest& request) {
   constexpr std::size_t kMaxBatch = 4096;
 
   std::string parse_error;
-  const auto json = Json::parse(request.body, &parse_error);
+  std::optional<Json> json;
+  {
+    obs::Span parse_span(obs::Stage::kParse);
+    json = Json::parse(request.body, &parse_error);
+  }
   if (!json.has_value()) return error_response(400, "invalid JSON: " + parse_error);
   if (!json->is_object() || !json->contains("jobs") || !(*json)["jobs"].is_array()) {
     return error_response(400, "body must be {\"jobs\": [...]}");
@@ -287,12 +456,15 @@ HttpResponse ApiServer::handle_classify_batch(const HttpRequest& request) {
 
   std::vector<JobRecord> jobs;
   jobs.reserve(list.size());
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    const auto job = job_from_json(list[i], &parse_error);
-    if (!job.has_value()) {
-      return error_response(400, "jobs[" + std::to_string(i) + "]: " + parse_error);
+  {
+    obs::Span parse_span(obs::Stage::kParse);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const auto job = job_from_json(list[i], &parse_error);
+      if (!job.has_value()) {
+        return error_response(400, "jobs[" + std::to_string(i) + "]: " + parse_error);
+      }
+      jobs.push_back(*job);
     }
-    jobs.push_back(*job);
   }
 
   std::vector<Label> labels;
@@ -334,8 +506,15 @@ HttpResponse ApiServer::handle_train(const HttpRequest& request) {
                             : framework_->store().max_end_time() + 1;
   const TrainingReport report = framework_->train_now(now);
   if (report.jobs_used == 0) {
+    log::warn("api", "training window empty; no model produced",
+              {log::Field("now", static_cast<std::int64_t>(now))});
     return error_response(409, "training window is empty; no model produced");
   }
+  log::info("api", "model trained",
+            {log::Field("jobs_used", static_cast<std::int64_t>(report.jobs_used)),
+             log::Field("train_seconds", report.train_seconds),
+             log::Field("version", static_cast<std::int64_t>(
+                                       framework_->model_version().value_or(0)))});
   Json body = Json::object();
   body.set("jobs_used", static_cast<std::int64_t>(report.jobs_used));
   body.set("train_seconds", report.train_seconds);

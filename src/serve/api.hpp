@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "core/mcbound.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "text/embedding_cache.hpp"
 #include "util/json.hpp"
@@ -61,13 +62,26 @@ class ApiServer {
   /// The serving-side embedding cache (exposed for tests/ops).
   ShardedEmbeddingCache& embedding_cache() noexcept { return embedding_cache_; }
 
+  /// The metrics registry (server stats + tracer + app counters); the
+  /// Prometheus exposition is render_prometheus(registry().gather()).
+  const obs::Registry& registry() const noexcept { return registry_; }
+
+  /// The per-request tracer owned by the underlying HttpServer.
+  obs::RequestTracer& tracer() noexcept { return server_.tracer(); }
+
   /// Route table access for socket-less testing.
   HttpResponse dispatch(const HttpRequest& request) const { return server_.dispatch(request); }
 
  private:
   void install_routes();
+  void collect_app_metrics(std::vector<obs::MetricFamily>& out) const;
+  double uptime_seconds() const;
 
   HttpResponse handle_health(const HttpRequest& request);
+  HttpResponse handle_healthz(const HttpRequest& request);
+  HttpResponse handle_readyz(const HttpRequest& request);
+  HttpResponse handle_metrics(const HttpRequest& request);
+  HttpResponse handle_debug_requests(const HttpRequest& request);
   HttpResponse handle_model_info(const HttpRequest& request);
   HttpResponse handle_characterize(const HttpRequest& request);
   HttpResponse handle_encode(const HttpRequest& request);
@@ -87,6 +101,12 @@ class ApiServer {
   std::atomic<std::uint64_t> batch_requests_{0};  ///< /classify_batch calls served
   std::atomic<std::uint64_t> batch_jobs_{0};      ///< jobs classified across them
   std::atomic<std::uint64_t> batch_max_{0};       ///< largest single batch
+
+  /// Steady-clock ns at start() (through the tracer's clock seam);
+  /// 0 before the server has listened. Feeds uptime_seconds.
+  std::atomic<std::uint64_t> start_ns_{0};
+  obs::CallbackCollector app_collector_;
+  obs::Registry registry_;
 };
 
 }  // namespace mcb

@@ -88,6 +88,18 @@ std::string serialize_http_response(const HttpResponse& response) {
   out += "\r\nContent-Type: ";
   out += response.content_type;
   out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  for (const auto& [key, value] : response.headers) {
+    // Response-splitting guard: a header carrying CR/LF is dropped, not
+    // emitted broken.
+    if (key.find_first_of("\r\n") != std::string::npos ||
+        value.find_first_of("\r\n") != std::string::npos) {
+      continue;
+    }
+    out += "\r\n";
+    out += key;
+    out += ": ";
+    out += value;
+  }
   out += "\r\nConnection: close\r\n\r\n";
   out += response.body;
   return out;

@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mcb {
 
@@ -22,6 +24,9 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers (e.g. X-Request-Id), serialized verbatim
+  /// after Content-Type/Content-Length. Keys keep their given casing.
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
 
   static HttpResponse json(int status, std::string body) {

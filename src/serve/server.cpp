@@ -10,7 +10,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <optional>
 
+#include "obs/log.hpp"
 #include "util/strings.hpp"
 
 namespace mcb {
@@ -64,8 +66,12 @@ void ServerStats::record_route(const std::string& route_key, int status,
     ++rs.status_5xx;
   } else if (status >= 400) {
     ++rs.status_4xx;
-  } else {
+  } else if (status >= 200 && status < 300) {
     ++rs.status_2xx;
+  } else {
+    // 1xx/3xx (and anything below 100): count them visibly instead of
+    // inflating the 2xx success rate.
+    ++rs.status_other;
   }
   rs.sum_us += us;
   rs.max_us = std::max(rs.max_us, us);
@@ -90,6 +96,7 @@ Json ServerStats::to_json() const {
       status.set("2xx", static_cast<std::int64_t>(rs.status_2xx));
       status.set("4xx", static_cast<std::int64_t>(rs.status_4xx));
       status.set("5xx", static_cast<std::int64_t>(rs.status_5xx));
+      status.set("other", static_cast<std::int64_t>(rs.status_other));
       entry.set("status", status);
       entry.set("latency_us", latency_json(rs.log10_us, rs.sum_us, rs.max_us, rs.count));
       routes.set(key, entry);
@@ -97,6 +104,65 @@ Json ServerStats::to_json() const {
   }
   out.set("routes", routes);
   return out;
+}
+
+void ServerStats::collect_metrics(std::vector<obs::MetricFamily>& out) const {
+  {
+    obs::MetricFamily conns;
+    conns.name = "mcb_http_connections_total";
+    conns.help = "Connection outcomes by event (accepted, handled, rejected, "
+                 "timed_out, malformed).";
+    conns.type = obs::MetricType::kCounter;
+    const std::pair<const char*, std::uint64_t> events[] = {
+        {"accepted", accepted.load()},   {"handled", handled.load()},
+        {"rejected", rejected.load()},   {"timed_out", timed_out.load()},
+        {"malformed", malformed.load()},
+    };
+    for (const auto& [event, value] : events) {
+      conns.points.push_back(
+          obs::scalar_point({{"event", event}}, static_cast<double>(value)));
+    }
+    out.push_back(std::move(conns));
+  }
+
+  obs::MetricFamily requests;
+  requests.name = "mcb_http_requests_total";
+  requests.help = "Dispatched requests by route and status class.";
+  requests.type = obs::MetricType::kCounter;
+
+  obs::MetricFamily durations;
+  durations.name = "mcb_http_request_duration_seconds";
+  durations.help = "Handler latency by route.";
+  durations.type = obs::MetricType::kHistogram;
+
+  MutexLock lock(mutex_);
+  for (const auto& [key, rs] : routes_) {
+    const std::pair<const char*, std::uint64_t> classes[] = {
+        {"2xx", rs.status_2xx}, {"4xx", rs.status_4xx},
+        {"5xx", rs.status_5xx}, {"other", rs.status_other},
+    };
+    for (const auto& [cls, value] : classes) {
+      if (value == 0) continue;  // keep the exposition sparse
+      requests.points.push_back(obs::scalar_point(
+          {{"route", key}, {"class", cls}}, static_cast<double>(value)));
+    }
+
+    // Re-express the log10(us) histogram as cumulative seconds buckets:
+    // bin upper edges 10^hi us become le bounds 10^hi * 1e-6 s.
+    obs::MetricPoint point;
+    point.labels = {{"route", key}};
+    std::uint64_t running = 0;
+    for (std::size_t bin = 0; bin < rs.log10_us.bins(); ++bin) {
+      running += rs.log10_us.bin_count(bin);
+      point.bounds.push_back(std::pow(10.0, rs.log10_us.bin_hi(bin)) * 1e-6);
+      point.cumulative.push_back(running);
+    }
+    point.count = rs.count;
+    point.sum = rs.sum_us * 1e-6;
+    durations.points.push_back(std::move(point));
+  }
+  out.push_back(std::move(requests));
+  out.push_back(std::move(durations));
 }
 
 HttpServer::HttpServer(ServerConfig config) : config_(config) {
@@ -111,33 +177,61 @@ void HttpServer::route(const std::string& method, const std::string& path,
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  // The socket path installs the request's trace before calling in; the
+  // socketless path (unit tests, in-process clients) gets a local trace
+  // here so spans and X-Request-Id echo behave identically.
+  obs::TraceContext* trace = obs::current_trace();
+  std::optional<obs::TraceContext> local_trace;
+  std::optional<obs::TraceScope> local_scope;
+  if (trace == nullptr) {
+    const auto id_it = request.headers.find("x-request-id");
+    local_trace.emplace(tracer_.make_trace(
+        id_it != request.headers.end() ? std::string_view(id_it->second)
+                                       : std::string_view{}));
+    local_scope.emplace(&*local_trace);
+    trace = &*local_trace;
+  }
+
   const auto started = Clock::now();
-  const auto it = routes_.find({request.method, request.path});
+  decltype(routes_)::const_iterator it;
   HttpResponse response;
-  if (it != routes_.end()) {
+  bool matched = false;
+  {
+    obs::Span route_span(trace, obs::Stage::kRoute);
+    it = routes_.find({request.method, request.path});
+    matched = it != routes_.end();
+    if (!matched) {
+      // Distinguish 404 from 405 for better API ergonomics.
+      bool path_exists = false;
+      for (const auto& [key, handler] : routes_) {
+        (void)handler;
+        if (key.second == request.path) {
+          path_exists = true;
+          break;
+        }
+      }
+      response = path_exists
+                     ? HttpResponse::json(405, R"({"error":"method not allowed"})")
+                     : HttpResponse::json(404, R"({"error":"not found"})");
+    }
+  }
+  if (matched) {
     try {
       response = it->second(request);
     } catch (const std::exception& e) {
       response = HttpResponse::json(
           500, std::string(R"({"error":")") + json_escape(e.what()) + "\"}");
     }
-  } else {
-    // Distinguish 404 from 405 for better API ergonomics.
-    bool path_exists = false;
-    for (const auto& [key, handler] : routes_) {
-      (void)handler;
-      if (key.second == request.path) {
-        path_exists = true;
-        break;
-      }
-    }
-    response = path_exists ? HttpResponse::json(405, R"({"error":"method not allowed"})")
-                           : HttpResponse::json(404, R"({"error":"not found"})");
   }
   const double seconds = std::chrono::duration<double>(Clock::now() - started).count();
-  const std::string key =
-      it != routes_.end() ? request.method + " " + request.path : "(unmatched)";
+  const std::string key = matched ? request.method + " " + request.path : "(unmatched)";
   stats_.record_route(key, response.status, seconds);
+  trace->set_route(key);
+  response.headers.emplace_back("X-Request-Id", trace->id());
+  if (local_trace.has_value()) {
+    local_scope.reset();
+    tracer_.finish(*local_trace, response.status, key);
+  }
   return response;
 }
 
@@ -177,6 +271,9 @@ bool HttpServer::start(int port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(listen_fd_, 64) != 0) {
+    log::error("serve", "bind/listen failed",
+               {log::Field("port", static_cast<std::int64_t>(port)),
+                log::Field("errno", static_cast<std::int64_t>(errno))});
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -189,6 +286,9 @@ bool HttpServer::start(int port) {
   pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  log::info("serve", "listening",
+            {log::Field("port", static_cast<std::int64_t>(port_)),
+             log::Field("workers", static_cast<std::int64_t>(config_.worker_threads))});
   return true;
 }
 
@@ -219,6 +319,9 @@ void HttpServer::stop() {
   // Queued-but-unstarted connections observe running_ == false and shed
   // immediately, so joining the pool is bounded.
   pool_.reset();
+  log::info("serve", "stopped",
+            {log::Field("handled", static_cast<std::int64_t>(stats_.handled.load())),
+             log::Field("rejected", static_cast<std::int64_t>(stats_.rejected.load()))});
 }
 
 void HttpServer::accept_loop() {
@@ -238,6 +341,8 @@ void HttpServer::accept_loop() {
       // Executor saturated: shed load here instead of queueing without
       // bound. Never block the accept path on worker progress.
       stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      log::warn("serve", "shedding connection: executor saturated",
+                {log::Field("pending", static_cast<std::int64_t>(pool_->pending()))});
       send_response(fd, HttpResponse::json(503, R"({"error":"server overloaded"})"));
       ::close(fd);
     }
@@ -262,6 +367,10 @@ void HttpServer::handle_connection(int fd) {
     return;
   }
 
+  // The trace covers the whole request lifetime including receive time,
+  // so a client that drips bytes shows up as a slow trace, not a fast
+  // handler.
+  obs::TraceContext trace = tracer_.make_trace();
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(config_.request_deadline_ms);
   std::string received;
@@ -304,33 +413,57 @@ void HttpServer::handle_connection(int fd) {
 
   switch (outcome) {
     case Outcome::kComplete: {
-      const auto request = parse_http_request(received);
+      std::optional<HttpRequest> request;
+      {
+        obs::Span parse_span(&trace, obs::Stage::kParse);
+        request = parse_http_request(received);
+      }
       if (request.has_value()) {
-        if (send_response(fd, dispatch(*request))) {
+        const auto id_it = request->headers.find("x-request-id");
+        if (id_it != request->headers.end()) trace.adopt_id(id_it->second);
+        std::string wire;
+        int status = 0;
+        {
+          obs::TraceScope scope(&trace);
+          const HttpResponse response = dispatch(*request);
+          status = response.status;
+          obs::Span serialize_span(&trace, obs::Stage::kSerialize);
+          wire = serialize_http_response(response);
+        }
+        if (send_all(fd, wire)) {
           stats_.handled.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
         }
+        tracer_.finish(trace, status,
+                       trace.route().empty() ? "(unknown)" : trace.route());
       } else {
         stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
         send_response(fd, HttpResponse::json(400, R"({"error":"malformed request"})"));
+        tracer_.finish(trace, 400, "(malformed)");
       }
       break;
     }
     case Outcome::kTimeout:
       stats_.timed_out.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd, HttpResponse::json(408, R"({"error":"request timeout"})"));
+      tracer_.finish(trace, 408, "(timeout)");
       break;
     case Outcome::kTooLarge:
       stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd, HttpResponse::json(413, R"({"error":"request too large"})"));
+      tracer_.finish(trace, 413, "(too_large)");
       break;
     case Outcome::kBadFraming:
       stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
       send_response(fd,
                     HttpResponse::json(400, R"({"error":"invalid content-length"})"));
+      tracer_.finish(trace, 400, "(bad_framing)");
       break;
     case Outcome::kClientGone:
       if (!received.empty()) {
         stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+        // 499 (client closed request): retained by the flight recorder
+        // like any other errored request.
+        tracer_.finish(trace, 499, "(client_gone)");
       }
       break;
   }
@@ -344,7 +477,9 @@ void HttpServer::handle_connection(int fd) {
 }
 
 bool http_request(int port, const std::string& method, const std::string& path,
-                  const std::string& body, int& status_out, std::string& body_out) {
+                  const std::string& body,
+                  const std::vector<std::pair<std::string, std::string>>& extra_headers,
+                  HttpClientResponse& response_out) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
   sockaddr_in addr{};
@@ -358,6 +493,12 @@ bool http_request(int port, const std::string& method, const std::string& path,
 
   std::string request = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
   request += "Content-Type: application/json\r\n";
+  for (const auto& [key, value] : extra_headers) {
+    request += key;
+    request += ": ";
+    request += value;
+    request += "\r\n";
+  }
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   request += body;
   if (!send_all(fd, request)) {
@@ -374,7 +515,7 @@ bool http_request(int port, const std::string& method, const std::string& path,
   }
   ::close(fd);
 
-  // Parse the status line and body.
+  // Parse the status line, headers and body.
   const std::size_t line_end = received.find("\r\n");
   const std::size_t head_end = received.find("\r\n\r\n");
   if (line_end == std::string::npos || head_end == std::string::npos) return false;
@@ -388,8 +529,31 @@ bool http_request(int port, const std::string& method, const std::string& path,
   if (code_end != std::string_view::npos) code = code.substr(0, code_end);
   std::int64_t status = 0;
   if (!parse_i64(code, status) || status < 100 || status > 599) return false;
-  status_out = static_cast<int>(status);
-  body_out = received.substr(head_end + 4);
+  response_out.status = static_cast<int>(status);
+  response_out.body = received.substr(head_end + 4);
+
+  response_out.headers.clear();
+  std::size_t cursor = line_end + 2;
+  while (cursor < head_end) {
+    std::size_t next = received.find("\r\n", cursor);
+    if (next == std::string::npos || next > head_end) next = head_end;
+    const std::string_view line = std::string_view(received).substr(cursor, next - cursor);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      response_out.headers.emplace(to_lower(trim(line.substr(0, colon))),
+                                   std::string(trim(line.substr(colon + 1))));
+    }
+    cursor = next + 2;
+  }
+  return true;
+}
+
+bool http_request(int port, const std::string& method, const std::string& path,
+                  const std::string& body, int& status_out, std::string& body_out) {
+  HttpClientResponse response;
+  if (!http_request(port, method, path, body, {}, response)) return false;
+  status_out = response.status;
+  body_out = std::move(response.body);
   return true;
 }
 

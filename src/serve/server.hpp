@@ -21,6 +21,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/http.hpp"
 #include "util/histogram.hpp"
 #include "util/json.hpp"
@@ -44,10 +46,12 @@ struct ServerConfig {
   std::size_t max_request_bytes = 16 * 1024 * 1024;  ///< 413 beyond this
 };
 
-/// Server-side observability counters, exported as JSON by GET /metrics.
-/// Counter updates are lock-free atomics; per-route latency histograms
-/// (log10 microseconds on util/histogram) take a short mutex.
-class ServerStats {
+/// Server-side observability counters, exported as JSON by GET /metrics
+/// and — as an obs::Collector — in the Prometheus exposition, so there
+/// is exactly one metrics surface (DESIGN.md §10). Counter updates are
+/// lock-free atomics; per-route latency histograms (log10 microseconds
+/// on util/histogram) take a short mutex.
+class ServerStats : public obs::Collector {
  public:
   std::atomic<std::uint64_t> accepted{0};       ///< sockets accept()ed
   std::atomic<std::uint64_t> handled{0};        ///< responses fully written
@@ -63,10 +67,19 @@ class ServerStats {
   /// Snapshot all counters/histograms as the /metrics JSON body.
   Json to_json() const;
 
+  /// The same counters/histograms as Prometheus families
+  /// (mcb_http_connections_total, mcb_http_requests_total,
+  /// mcb_http_request_duration_seconds).
+  void collect_metrics(std::vector<obs::MetricFamily>& out) const override;
+
  private:
   struct RouteStats {
     std::uint64_t count = 0;
+    /// Status classes partition `count`: 2xx = [200,300), 4xx =
+    /// [400,500), 5xx = [500,...); 1xx/3xx land in `status_other`
+    /// instead of being silently folded into 2xx.
     std::uint64_t status_2xx = 0, status_4xx = 0, status_5xx = 0;
+    std::uint64_t status_other = 0;
     double sum_us = 0.0, max_us = 0.0;
     // log10(latency in us) over [1us, 100s) — wide enough for /train.
     Histogram log10_us{0.0, 8.0, 32};
@@ -102,6 +115,12 @@ class HttpServer {
   const ServerConfig& config() const noexcept { return config_; }
   ServerStats& stats() noexcept { return stats_; }
 
+  /// Request tracer: per-stage latency histograms + flight recorder.
+  /// Every socket request gets a trace; dispatch() adopts/echoes
+  /// X-Request-Id through it.
+  obs::RequestTracer& tracer() noexcept { return tracer_; }
+  const obs::RequestTracer& tracer() const noexcept { return tracer_; }
+
   /// Connections currently being served (racy snapshot, for /metrics).
   std::size_t active_connections() const;
 
@@ -130,6 +149,7 @@ class HttpServer {
   std::unordered_set<int> active_fds_ MCB_GUARDED_BY(conn_mutex_);
 
   mutable ServerStats stats_;
+  mutable obs::RequestTracer tracer_;
 };
 
 /// Blocking loopback HTTP client for tests/examples: send one request to
@@ -137,5 +157,20 @@ class HttpServer {
 /// false on connection failure.
 bool http_request(int port, const std::string& method, const std::string& path,
                   const std::string& body, int& status_out, std::string& body_out);
+
+/// Parsed response from the full-fidelity client overload.
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+  std::map<std::string, std::string> headers;  ///< lower-cased keys
+};
+
+/// Like http_request, but sends caller-supplied extra request headers
+/// (e.g. X-Request-Id) and returns the response headers — used by the
+/// trace-ID adoption/echo tests.
+bool http_request(int port, const std::string& method, const std::string& path,
+                  const std::string& body,
+                  const std::vector<std::pair<std::string, std::string>>& extra_headers,
+                  HttpClientResponse& response_out);
 
 }  // namespace mcb

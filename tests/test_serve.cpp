@@ -401,6 +401,70 @@ TEST(HttpServer, StatsCountersAndMetricsJson) {
   EXPECT_EQ(metrics["routes"]["(unmatched)"]["count"].as_int(), 1);
 }
 
+TEST(HttpServer, StatusClassesPartitionRouteCounts) {
+  // record_route used to fold everything below 400 into 2xx; 1xx/3xx
+  // now land in "other" and the classes partition the route count.
+  HttpServer server;
+  server.route("GET", "/boom",
+               [](const HttpRequest&) -> HttpResponse { throw std::runtime_error("x"); });
+  server.route("GET", "/redirect",
+               [](const HttpRequest&) { return HttpResponse::json(302, "{}"); });
+  HttpRequest boom{"GET", "/boom", "", {}, ""};
+  EXPECT_EQ(server.dispatch(boom).status, 500);
+  HttpRequest redirect{"GET", "/redirect", "", {}, ""};
+  EXPECT_EQ(server.dispatch(redirect).status, 302);
+
+  const Json metrics = server.stats_json();
+  const Json& boom_route = metrics["routes"]["GET /boom"];
+  EXPECT_EQ(boom_route["count"].as_int(), 1);
+  EXPECT_EQ(boom_route["status"]["5xx"].as_int(), 1);
+  EXPECT_EQ(boom_route["status"]["2xx"].as_int(), 0);
+  const Json& redirect_route = metrics["routes"]["GET /redirect"];
+  EXPECT_EQ(redirect_route["count"].as_int(), 1);
+  EXPECT_EQ(redirect_route["status"]["other"].as_int(), 1);
+  EXPECT_EQ(redirect_route["status"]["2xx"].as_int(), 0);
+  // A handler failure is a dispatched request, not a protocol error.
+  EXPECT_EQ(server.stats().malformed.load(), 0U);
+}
+
+TEST(HttpServer, ThrowingHandlerCountsExactlyOnceOverSocket) {
+  HttpServer server;
+  server.route("GET", "/boom",
+               [](const HttpRequest&) -> HttpResponse { throw std::runtime_error("x"); });
+  ASSERT_TRUE(server.start(0));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(http_request(server.port(), "GET", "/boom", "", status, body));
+  EXPECT_EQ(status, 500);
+  server.stop();
+
+  EXPECT_EQ(server.stats().malformed.load(), 0U);
+  EXPECT_EQ(server.stats().handled.load(), 1U);
+  const Json metrics = server.stats_json();
+  EXPECT_EQ(metrics["routes"]["GET /boom"]["count"].as_int(), 1);
+  EXPECT_EQ(metrics["routes"]["GET /boom"]["status"]["5xx"].as_int(), 1);
+}
+
+TEST(HttpServer, OversizedRequestIsMalformedOnlyNotARoute) {
+  // The connection-level 413 never reaches dispatch: it must count once
+  // under `malformed` and leave the per-route map untouched.
+  ServerConfig config;
+  config.max_request_bytes = 128;
+  HttpServer server(config);
+  server.route("POST", "/n",
+               [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  ASSERT_TRUE(server.start(0));
+  int status = 0;
+  std::string out;
+  ASSERT_TRUE(http_request(server.port(), "POST", "/n", std::string(1024, 'x'), status, out));
+  EXPECT_EQ(status, 413);
+  server.stop();
+
+  EXPECT_EQ(server.stats().malformed.load(), 1U);
+  const Json metrics = server.stats_json();
+  EXPECT_FALSE(metrics["routes"].contains("POST /n"));
+}
+
 // ----------------------------------------------------- job JSON mapping
 
 TEST(JobJson, RoundTrip) {
@@ -696,6 +760,83 @@ TEST_F(ApiTest, MetricsEndpointCountsRequests) {
   EXPECT_EQ((*after_json)["routes"]["POST /predict"]["status"]["4xx"].as_int(), 1);
   // The metrics route observes itself too.
   EXPECT_GE((*after_json)["routes"]["GET /metrics"]["count"].as_int(), 1);
+}
+
+TEST_F(ApiTest, OversizedBatchIs413CountedOnce) {
+  // The handler-level 413 (batch above kMaxBatch) is a dispatched
+  // request: one 4xx on its route, nothing under `malformed`.
+  std::string body = R"({"jobs":[)";
+  for (int i = 0; i < 4097; ++i) {
+    if (i > 0) body += ',';
+    body += R"({"job_name":"x"})";
+  }
+  body += "]}";
+  const auto response = call("POST", "/classify_batch", body);
+  EXPECT_EQ(response.status, 413);
+
+  const auto metrics = Json::parse(call("GET", "/metrics").body);
+  ASSERT_TRUE(metrics.has_value());
+  const Json& route = (*metrics)["routes"]["POST /classify_batch"];
+  EXPECT_EQ(route["count"].as_int(), 1);
+  EXPECT_EQ(route["status"]["4xx"].as_int(), 1);
+  EXPECT_EQ((*metrics)["server"]["malformed"].as_int(), 0);
+}
+
+TEST_F(ApiTest, HealthzReadyzLifecycle) {
+  EXPECT_EQ(call("GET", "/healthz").status, 200);
+  const auto not_ready = call("GET", "/readyz");
+  EXPECT_EQ(not_ready.status, 503);
+  const auto not_ready_json = Json::parse(not_ready.body);
+  ASSERT_TRUE(not_ready_json.has_value());
+  EXPECT_FALSE((*not_ready_json)["ready"].as_bool(true));
+
+  ASSERT_EQ(call("POST", "/train", "{\"now\": " + std::to_string(last_end_ + 10) + "}").status,
+            201);
+  const auto ready = call("GET", "/readyz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_TRUE((*Json::parse(ready.body))["ready"].as_bool());
+}
+
+TEST_F(ApiTest, MetricsReportsUptimeAndBuildInfo) {
+  const auto metrics = Json::parse(call("GET", "/metrics").body);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_TRUE(metrics->contains("uptime_seconds"));
+  EXPECT_FALSE((*metrics)["build"]["version"].as_string().empty());
+  EXPECT_TRUE((*metrics)["stages"].is_object());
+}
+
+TEST_F(ApiTest, DebugRequestsRetainsErrors) {
+  EXPECT_EQ(call("GET", "/no-such-endpoint").status, 404);
+  const auto response = call("GET", "/debug/requests");
+  EXPECT_EQ(response.status, 200);
+  const auto json = Json::parse(response.body);
+  ASSERT_TRUE(json.has_value());
+  ASSERT_GE((*json)["count"].as_int(), 1);
+  bool found = false;
+  for (const Json& entry : (*json)["requests"].as_array()) {
+    if (entry["route"].as_string() == "(unmatched)" && entry["status"].as_int() == 404) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApiTest, PrometheusExposition) {
+  call("GET", "/healthz");  // ensure at least one dispatched request
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/metrics";
+  request.query = "format=prometheus";
+  const auto response = api_->dispatch(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_stage_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("mcb_build_info{"), std::string::npos);
+  EXPECT_NE(response.body.find("mcb_ready 0"), std::string::npos);
+  EXPECT_NE(response.body.find("le=\"+Inf\""), std::string::npos);
 }
 
 TEST_F(ApiTest, EndToEndOverSockets) {

@@ -26,12 +26,27 @@
 // throughput. To refresh a baseline after an intentional change, run
 // the bench with --json locally (or download the CI artifact) and copy
 // the new values into bench/baselines/, keeping direction/gate.
+//
+// A second mode validates a Prometheus text-exposition scrape (the
+// bench-smoke job scrapes the live server's /metrics?format=prometheus):
+//
+//   bench_check --prom FILE
+//
+// checks that every sample belongs to a family announced by # TYPE,
+// every family has # HELP, histogram buckets are cumulative with
+// ascending le bounds, and each histogram's +Inf bucket equals _count.
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -112,11 +127,241 @@ int check_pair(const std::string& baseline_path, const std::string& fresh_path) 
   return failures;
 }
 
+// --------------------------------------------------------------- --prom
+
+struct PromSample {
+  std::string name;          // full sample name (incl. _bucket/_sum/_count)
+  std::string series_key;    // labels with any le="..." removed
+  std::string le;            // le label value ("" when absent)
+  double value = 0.0;
+  std::size_t line = 0;
+};
+
+/// Parse `name{labels} value` / `name value`. Returns false (with a
+/// diagnostic) on anything structurally broken.
+bool parse_prom_sample(std::string_view text, std::size_t line_no, PromSample& out,
+                       int& errors) {
+  const auto bad = [&](const char* why) {
+    std::fprintf(stderr, "  FAIL  line %zu: %s\n", line_no, why);
+    ++errors;
+    return false;
+  };
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) != 0 || text[i] == '_' ||
+          text[i] == ':')) {
+    ++i;
+  }
+  if (i == 0) return bad("sample does not start with a metric name");
+  out.name = std::string(text.substr(0, i));
+  out.series_key.clear();
+  out.le.clear();
+  out.line = line_no;
+
+  if (i < text.size() && text[i] == '{') {
+    ++i;
+    while (i < text.size() && text[i] != '}') {
+      std::size_t key_start = i;
+      while (i < text.size() && text[i] != '=') ++i;
+      if (i >= text.size()) return bad("unterminated label pair");
+      const std::string key(text.substr(key_start, i - key_start));
+      ++i;  // '='
+      if (i >= text.size() || text[i] != '"') return bad("label value not quoted");
+      ++i;
+      std::string value;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          value += text[i + 1];
+          i += 2;
+        } else {
+          value += text[i];
+          ++i;
+        }
+      }
+      if (i >= text.size()) return bad("unterminated label value");
+      ++i;  // closing quote
+      if (key == "le") {
+        out.le = value;
+      } else {
+        if (!out.series_key.empty()) out.series_key += ',';
+        out.series_key += key;
+        out.series_key += '=';
+        out.series_key += value;
+      }
+      if (i < text.size() && text[i] == ',') ++i;
+    }
+    if (i >= text.size()) return bad("unterminated label block");
+    ++i;  // '}'
+  }
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  if (i >= text.size()) return bad("sample has no value");
+  char* end = nullptr;
+  const std::string value_text(text.substr(i));
+  out.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str()) return bad("sample value is not a number");
+  return true;
+}
+
+int check_prometheus(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_check: cannot open exposition file %s\n", path.c_str());
+    return 1;
+  }
+  int errors = 0;
+  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  std::map<std::string, bool> helped;        // family -> has # HELP
+  // family -> series_key -> buckets in file order (le text, cumulative count)
+  std::map<std::string, std::map<std::string, std::vector<std::pair<std::string, double>>>>
+      buckets;
+  // family -> series_key -> _count value
+  std::map<std::string, std::map<std::string, double>> counts;
+  std::size_t samples = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::vector<std::string> parts = mcb::split(line, ' ');
+      if (parts.size() >= 3 && parts[1] == "HELP") {
+        helped[parts[2]] = true;
+      } else if (parts.size() >= 4 && parts[1] == "TYPE") {
+        if (types.count(parts[2]) != 0) {
+          std::fprintf(stderr, "  FAIL  line %zu: duplicate # TYPE for %s\n", line_no,
+                       parts[2].c_str());
+          ++errors;
+        }
+        types[parts[2]] = parts[3];
+      }
+      continue;
+    }
+    PromSample sample;
+    if (!parse_prom_sample(line, line_no, sample, errors)) continue;
+    ++samples;
+
+    // Resolve the owning family: histogram series names carry a suffix.
+    std::string family = sample.name;
+    bool is_bucket = false, is_count = false;
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (family.size() > suffix.size() &&
+          family.compare(family.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        const std::string base = family.substr(0, family.size() - suffix.size());
+        if (types.count(base) != 0 && types[base] == "histogram") {
+          is_bucket = suffix == "_bucket";
+          is_count = suffix == "_count";
+          family = base;
+          break;
+        }
+      }
+    }
+    if (types.count(family) == 0) {
+      std::fprintf(stderr, "  FAIL  line %zu: sample %s precedes/lacks its # TYPE\n",
+                   line_no, sample.name.c_str());
+      ++errors;
+      continue;
+    }
+    if (types[family] == "histogram" && family == sample.name) {
+      std::fprintf(stderr,
+                   "  FAIL  line %zu: bare sample %s for a histogram family\n",
+                   line_no, sample.name.c_str());
+      ++errors;
+      continue;
+    }
+    if (is_bucket) {
+      if (sample.le.empty()) {
+        std::fprintf(stderr, "  FAIL  line %zu: _bucket sample without le label\n",
+                     line_no);
+        ++errors;
+        continue;
+      }
+      buckets[family][sample.series_key].emplace_back(sample.le, sample.value);
+    } else if (is_count) {
+      counts[family][sample.series_key] = sample.value;
+    }
+  }
+
+  for (const auto& [family, series] : buckets) {
+    for (const auto& [key, entries] : series) {
+      const std::string where = family + "{" + key + "}";
+      double prev_le = -1.0, prev_count = -1.0;
+      bool saw_inf = false;
+      for (const auto& [le_text, cumulative] : entries) {
+        if (saw_inf) {
+          std::fprintf(stderr, "  FAIL  %s: bucket after le=\"+Inf\"\n", where.c_str());
+          ++errors;
+          break;
+        }
+        if (le_text == "+Inf") {
+          saw_inf = true;
+        } else {
+          char* end = nullptr;
+          const double le = std::strtod(le_text.c_str(), &end);
+          if (end == le_text.c_str() || le <= prev_le) {
+            std::fprintf(stderr, "  FAIL  %s: le bounds not ascending (le=\"%s\")\n",
+                         where.c_str(), le_text.c_str());
+            ++errors;
+          }
+          prev_le = le;
+        }
+        if (cumulative < prev_count) {
+          std::fprintf(stderr, "  FAIL  %s: buckets not cumulative at le=\"%s\"\n",
+                       where.c_str(), le_text.c_str());
+          ++errors;
+        }
+        prev_count = cumulative;
+      }
+      if (!saw_inf) {
+        std::fprintf(stderr, "  FAIL  %s: missing le=\"+Inf\" bucket\n", where.c_str());
+        ++errors;
+      } else if (counts.count(family) == 0 || counts[family].count(key) == 0) {
+        std::fprintf(stderr, "  FAIL  %s: histogram series without _count\n",
+                     where.c_str());
+        ++errors;
+      } else if (entries.back().second != counts[family][key]) {
+        std::fprintf(stderr, "  FAIL  %s: +Inf bucket %g != _count %g\n", where.c_str(),
+                     entries.back().second, counts[family][key]);
+        ++errors;
+      }
+    }
+  }
+  for (const auto& [family, type] : types) {
+    (void)type;
+    if (helped.count(family) == 0) {
+      std::fprintf(stderr, "  FAIL  %s: # TYPE without # HELP\n", family.c_str());
+      ++errors;
+    }
+  }
+  if (samples == 0) {
+    std::fprintf(stderr, "  FAIL  %s: no samples in exposition\n", path.c_str());
+    ++errors;
+  }
+  if (errors == 0) {
+    std::printf(
+        "bench_check: %s OK — %zu samples, %zu families, %zu histogram series valid\n",
+        path.c_str(), samples, types.size(), [&] {
+          std::size_t n = 0;
+          for (const auto& [f, s] : buckets) {
+            (void)f;
+            n += s.size();
+          }
+          return n;
+        }());
+  }
+  return errors;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string_view(argv[1]) == "--prom") {
+    return check_prometheus(argv[2]) == 0 ? 0 : 1;
+  }
   if (argc < 3 || (argc - 1) % 2 != 0) {
-    std::fprintf(stderr, "usage: bench_check BASELINE FRESH [BASELINE FRESH ...]\n");
+    std::fprintf(stderr,
+                 "usage: bench_check BASELINE FRESH [BASELINE FRESH ...]\n"
+                 "       bench_check --prom EXPOSITION_FILE\n");
     return 2;
   }
   int failures = 0;

@@ -18,6 +18,7 @@
 
 #include "core/mcbound.hpp"
 #include "core/online_evaluator.hpp"
+#include "obs/log.hpp"
 #include "roofline/analysis.hpp"
 #include "roofline/extended.hpp"
 #include "serve/api.hpp"
@@ -38,7 +39,8 @@ constexpr const char* kUsage =
     "               [--theta N --sampling latest|random]\n"
     "  serve        --trace FILE [--port P] [--alpha A] [--model knn|rf]\n"
     "               [--http-threads N] [--http-queue N] [--timeout-ms MS]\n"
-    "               [--drain-ms MS]\n";
+    "               [--drain-ms MS] [--log-level debug|info|warn|error|off]\n"
+    "               [--log-json true|false]\n";
 
 bool load_trace(const CliFlags& flags, JobStore& store) {
   const std::string path = flags.get("trace", "");
@@ -164,6 +166,18 @@ int cmd_evaluate(const CliFlags& flags) {
 }
 
 int cmd_serve(const CliFlags& flags) {
+  // Structured logging: the server/library code logs through
+  // mcb::log::global(); these flags configure it before serving starts.
+  const std::string level_text = flags.get("log-level", "info");
+  const auto level = log::parse_level(level_text);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s' (use debug|info|warn|error|off)\n",
+                 level_text.c_str());
+    return 2;
+  }
+  log::global().set_level(*level);
+  log::global().set_json(flags.get_bool("log-json", true));
+
   static JobStore store;  // outlives the framework/server below
   if (!load_trace(flags, store)) return 1;
 
@@ -198,7 +212,9 @@ int cmd_serve(const CliFlags& flags) {
   std::printf("executor: %zu workers, %zu pending, %d ms request deadline\n",
               server.worker_threads, server.max_pending, server.request_deadline_ms);
   std::printf("POST /train to build the first model version; GET /metrics for\n"
-              "server-side counters and latency; Ctrl-C to stop.\n");
+              "server-side counters and latency (add ?format=prometheus for the\n"
+              "text exposition); GET /healthz, /readyz, /debug/requests for\n"
+              "probes and the flight recorder; Ctrl-C to stop.\n");
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
 
@@ -214,7 +230,7 @@ int main(int argc, char** argv) {
       argc - 1, argv + 1,
       {"out", "trace", "jobs-per-day", "seed", "extended", "model", "alpha", "beta",
        "theta", "sampling", "port", "registry", "http-threads", "http-queue",
-       "timeout-ms", "drain-ms"},
+       "timeout-ms", "drain-ms", "log-level", "log-json"},
       kUsage);
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;

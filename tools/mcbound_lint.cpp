@@ -20,6 +20,10 @@
 //   R8  every memory_order_relaxed carries a `// relaxed: <why>` comment
 //       on the same line or one of the two lines above it (checked on
 //       the raw text, since the justification is itself a comment).
+//   R9  no direct stdout/stderr writes (std::cout/cerr/clog, printf,
+//       fprintf, puts, fputs, fputc, perror, ...) in src/ outside
+//       src/obs/ and src/util/cli.cpp: library code logs through
+//       mcb::log so every line is structured, leveled and rate-limited.
 //
 // Exit status: 0 = clean, 1 = violations printed one per line as
 //   <file>:<line>: [R<n>] <message>
@@ -360,6 +364,51 @@ void check_relaxed_order_justified(const fs::path& file, std::string_view raw) {
   }
 }
 
+// ------------------------------------------------------------------- R9
+// src/obs/ implements the logger (it must reach the real stderr) and
+// util/cli.cpp is the flag-parsing helper that prints usage text; all
+// other library code routes output through mcb::log.
+bool may_write_streams_directly(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "obs") return true;
+  }
+  return p.filename() == "cli.cpp" && p.parent_path().filename() == "util";
+}
+
+void check_no_direct_stream_writes(const fs::path& file, std::string_view code) {
+  // std::cout / std::cerr / std::clog by name.
+  static constexpr std::string_view kStreams[] = {"cout", "cerr", "clog"};
+  for (const auto word : kStreams) {
+    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      if (pos < 5 || code.substr(pos - 5, 5) != "std::") continue;
+      report(file, line_of(code, pos), "R9",
+             "direct `std::" + std::string(word) +
+                 "` write in library code — log through mcb::log instead");
+    }
+  }
+  // printf-family calls that hit stdout/stderr. snprintf/sscanf style
+  // buffer formatting is fine; only stream emitters are banned.
+  static constexpr std::string_view kBannedCalls[] = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "fputc",
+      "putchar", "perror"};
+  for (const auto word : kBannedCalls) {
+    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      std::size_t after = pos + word.size();
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+        ++after;
+      }
+      if (after >= code.size() || code[after] != '(') continue;
+      report(file, line_of(code, pos), "R9",
+             "`" + std::string(word) +
+                 "()` writes to a process stream from library code — log "
+                 "through mcb::log instead");
+    }
+  }
+}
+
 // ------------------------------------------------------------------- R5
 void check_pragma_once(const fs::path& file, std::string_view code) {
   if (code.find("#pragma once") == std::string_view::npos) {
@@ -452,6 +501,7 @@ int main(int argc, char** argv) {
     if (!is_sync_wrapper_file(path)) check_no_raw_std_sync(path, code);
     check_no_thread_detach(path, code);
     check_relaxed_order_justified(path, raw);
+    if (!may_write_streams_directly(path)) check_no_direct_stream_writes(path, code);
     if (has_extension(path, ".hpp")) {
       check_pragma_once(path, code);
       if (!opts.compiler.empty()) {
