@@ -6,6 +6,13 @@
 // beats latest-first consistently, with a large gap at small theta that
 // shrinks as theta grows — because Fugaku jobs arrive in batches of
 // identical jobs, "latest" picks redundant duplicates.
+//
+// Since PR 6 the KNN path serves these sweeps through the pruned
+// spatial index (DESIGN.md §11) whenever a theta window reaches the
+// index threshold; predictions — and therefore every F1 in this figure
+// — are bit-identical to the brute-force scan by the shared-TopK
+// contract, only faster (the duplicate batches above collapse into
+// single index points). bench_fig8_inference_time gates the speedup.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {

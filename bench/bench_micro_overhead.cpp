@@ -73,7 +73,8 @@ struct TrainedModels {
   ClassificationModel knn{ModelKind::kKnn};
   ClassificationModel rf{ModelKind::kRandomForest};
   RandomForestClassifier rf_raw;  ///< concrete handles expose the scalar
-  KnnClassifier knn_raw;          ///< reference paths for comparison
+  KnnClassifier knn_raw;          ///< reference paths for comparison (index off)
+  KnnClassifier knn_indexed;      ///< pruned spatial index (DESIGN.md §11)
 
   TrainedModels() {
     const FeatureEncoder encoder;
@@ -93,7 +94,13 @@ struct TrainedModels {
     rf.training(train_x.view(), train_y);
     rf_raw = RandomForestClassifier(rf_config);
     rf_raw.fit(train_x.view(), train_y);
+    // knn_raw must stay a pure scan so the BatchScalar/BatchTiled
+    // benchmarks keep measuring the kernels, not the index.
+    KnnConfig scan_config;
+    scan_config.index.mode = KnnIndexMode::kNone;
+    knn_raw = KnnClassifier(scan_config);
     knn_raw.fit(train_x.view(), train_y);
+    knn_indexed.fit(train_x.view(), train_y);
     query = FeatureMatrix(1, encoder.dim());
     const auto source = train_x.view().row(7);
     std::copy(source.begin(), source.end(), query.row(0));
@@ -172,6 +179,16 @@ void BM_KnnInferenceBatchTiled(benchmark::State& state) {
   state.SetLabel("tiled scan, 4-accumulator dot");
 }
 BENCHMARK(BM_KnnInferenceBatchTiled);
+
+void BM_KnnInferenceBatchIndexed(benchmark::State& state) {
+  auto& m = models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.knn_indexed.predict(m.batch.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * m.batch.view().rows));
+  state.SetLabel("bounding-box tree + duplicate groups");
+}
+BENCHMARK(BM_KnnInferenceBatchIndexed);
 
 void BM_EncodeBatchCached(benchmark::State& state) {
   static const FeatureEncoder encoder;

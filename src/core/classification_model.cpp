@@ -41,4 +41,11 @@ std::vector<Label> ClassificationModel::inference(FeatureView x, ThreadPool* poo
   return classifier_->predict(x, pool);
 }
 
+const KnnIndexStats* ClassificationModel::knn_index_stats() const noexcept {
+  if (kind_ != ModelKind::kKnn) return nullptr;
+  // kind_ == kKnn pins the concrete type (see the constructor).
+  const auto& knn = *static_cast<const KnnClassifier*>(classifier_.get());
+  return knn.index().ready() ? &knn.index().stats() : nullptr;
+}
+
 }  // namespace mcb

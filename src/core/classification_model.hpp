@@ -57,6 +57,11 @@ class ClassificationModel {
   Classifier& classifier() noexcept { return *classifier_; }
   const Classifier& classifier() const noexcept { return *classifier_; }
 
+  /// Stats of the KNN spatial index (DESIGN.md §11) serving this model's
+  /// queries, or nullptr when the model is not KNN or answers through
+  /// the brute-force scan (index disabled, p != 2, or below min_rows).
+  const KnnIndexStats* knn_index_stats() const noexcept;
+
   bool save(std::ostream& out) const { return classifier_->save(out); }
   bool load(std::istream& in) { return classifier_->load(in); }
 

@@ -38,6 +38,11 @@ Json FrameworkConfig::to_json() const {
   model_json.set("kind", model_kind_name(model));
   model_json.set("knn_k", static_cast<std::int64_t>(knn.k));
   model_json.set("knn_minkowski_p", knn.minkowski_p);
+  model_json.set("knn_index_mode", knn_index_mode_name(knn.index.mode));
+  model_json.set("knn_index_min_rows", static_cast<std::int64_t>(knn.index.min_rows));
+  model_json.set("knn_index_leaf_size", static_cast<std::int64_t>(knn.index.leaf_size));
+  model_json.set("knn_index_ivf_clusters", static_cast<std::int64_t>(knn.index.ivf_clusters));
+  model_json.set("knn_index_ivf_nprobe", static_cast<std::int64_t>(knn.index.ivf_nprobe));
   model_json.set("rf_trees", static_cast<std::int64_t>(forest.n_trees));
   model_json.set("rf_max_bins", static_cast<std::int64_t>(forest.max_bins));
   model_json.set("rf_max_depth", static_cast<std::int64_t>(forest.tree.max_depth));
@@ -132,6 +137,25 @@ std::optional<FrameworkConfig> FrameworkConfig::from_json(const Json& json,
     config.knn.k = static_cast<std::size_t>(
         m["knn_k"].as_int(static_cast<std::int64_t>(config.knn.k)));
     config.knn.minkowski_p = m["knn_minkowski_p"].as_double(config.knn.minkowski_p);
+    if (m.contains("knn_index_mode")) {
+      const auto mode = parse_knn_index_mode(m["knn_index_mode"].as_string());
+      if (!mode.has_value()) {
+        return fail("unknown knn_index_mode '" + m["knn_index_mode"].as_string() +
+                    "' (expected none/tree/ivf)");
+      }
+      config.knn.index.mode = *mode;
+    }
+    config.knn.index.min_rows = static_cast<std::size_t>(
+        m["knn_index_min_rows"].as_int(static_cast<std::int64_t>(config.knn.index.min_rows)));
+    config.knn.index.leaf_size = static_cast<std::size_t>(
+        m["knn_index_leaf_size"].as_int(static_cast<std::int64_t>(config.knn.index.leaf_size)));
+    config.knn.index.ivf_clusters = static_cast<std::size_t>(m["knn_index_ivf_clusters"].as_int(
+        static_cast<std::int64_t>(config.knn.index.ivf_clusters)));
+    config.knn.index.ivf_nprobe = static_cast<std::size_t>(m["knn_index_ivf_nprobe"].as_int(
+        static_cast<std::int64_t>(config.knn.index.ivf_nprobe)));
+    if (config.knn.index.leaf_size == 0 || config.knn.index.ivf_nprobe == 0) {
+      return fail("knn_index_leaf_size/knn_index_ivf_nprobe must be positive");
+    }
     config.forest.n_trees = static_cast<std::size_t>(
         m["rf_trees"].as_int(static_cast<std::int64_t>(config.forest.n_trees)));
     config.forest.max_bins = static_cast<std::size_t>(

@@ -39,6 +39,13 @@ class Framework {
   std::optional<std::uint32_t> model_version() const noexcept { return model_version_; }
   std::string model_name() const { return model_kind_name(config_.model); }
 
+  /// The live model, or nullptr before the first train_now()/
+  /// load_latest_model(). Lets the serving layer surface model
+  /// internals (e.g. KNN spatial-index stats) in /model/info.
+  const ClassificationModel* model() const noexcept {
+    return model_.has_value() ? &*model_ : nullptr;
+  }
+
   /// Training Workflow: fetch the trailing alpha-day window ending at
   /// `now`, characterize, encode, train, and persist a new model version
   /// to the registry. Returns the report (jobs_used == 0 means the

@@ -95,6 +95,16 @@ void FlatForest::accumulate_proba(std::span<const float> row, double* probs) con
   accumulate_proba_block(view, 0, 1, probs);
 }
 
+std::size_t FlatForest::min_row_width() const noexcept {
+  std::size_t width = 0;
+  for (std::size_t i = 0; i < left_.size(); ++i) {
+    if (left_[i] >= 0) {  // leaves never consult their feature slot
+      width = std::max(width, static_cast<std::size_t>(feature_[i]) + 1);
+    }
+  }
+  return width;
+}
+
 void FlatForest::save(std::ostream& out) const {
   io::write_header(out, io::kKindFlatForest);
   io::write_pod(out, static_cast<std::uint64_t>(n_classes_));
@@ -139,6 +149,10 @@ bool FlatForest::load(std::istream& in) {
           right_[i] <= static_cast<std::int32_t>(i)) {
         return false;
       }
+      // Internal nodes index into the caller's feature row; an
+      // unbounded column from a crafted file is an out-of-bounds read
+      // in accumulate_proba_block no caller can defend against.
+      if (feature_[i] >= (1U << 20)) return false;
     }
   }
   return !roots_.empty();

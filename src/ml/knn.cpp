@@ -5,10 +5,23 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ml/knn_kernels.hpp"
 #include "ml/serialize.hpp"
+#include "ml/top_k.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mcb {
+
+namespace {
+
+/// Classes beyond this are a corrupt/hostile model file, not a real
+/// MCBound classifier (the paper's taxonomy has two classes): vote()
+/// allocates a counter per class, so the header field must be bounded
+/// before it is trusted.
+constexpr std::uint64_t kMaxClasses = 1ULL << 20;
+constexpr std::uint64_t kMaxDim = 1ULL << 24;
+
+}  // namespace
 
 KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
   if (config_.k == 0) config_.k = 1;
@@ -27,72 +40,22 @@ void KnnClassifier::fit(FeatureView x, std::span<const Label> y) {
   }
   train_norms_.resize(x.rows);
   for (std::size_t i = 0; i < x.rows; ++i) {
-    const float* row = train_data_.data() + i * dim_;
-    double n2 = 0.0;
-    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
-    train_norms_[i] = static_cast<float>(n2);
+    train_norms_[i] = row_norm_sq(train_data_.data() + i * dim_, dim_);
   }
+  rebuild_index();
 }
 
-namespace {
-
-/// Size-k sorted insertion buffer; k is tiny (default 5) so the shift is
-/// cheaper than heap bookkeeping. Shared by the scalar and tiled scans
-/// so tie behaviour (first-seen row wins on equal distance) is identical.
-class TopK {
- public:
-  TopK(std::vector<std::size_t>& idx, std::vector<double>& dist, std::size_t k)
-      : idx_(idx), dist_(dist), k_(k) {
-    idx_.assign(k, 0);
-    dist_.assign(k, std::numeric_limits<double>::infinity());
-  }
-
-  void consider(std::size_t row, double d) {
-    if (d >= dist_.back()) return;
-    std::size_t pos = k_ - 1;
-    while (pos > 0 && dist_[pos - 1] > d) {
-      dist_[pos] = dist_[pos - 1];
-      idx_[pos] = idx_[pos - 1];
-      --pos;
-    }
-    dist_[pos] = d;
-    idx_[pos] = row;
-  }
-
- private:
-  std::vector<std::size_t>& idx_;
-  std::vector<double>& dist_;
-  std::size_t k_;
-};
-
-/// Training rows per tile of the p=2 fast scan: distances for a whole
-/// tile are materialized into a small stack buffer before the top-k
-/// insertion runs over them.
-constexpr std::size_t kScanTile = 128;
-
-/// Dot of one query against `rows` consecutive training rows. Four
-/// independent accumulators break the FP-add dependence chain (float
-/// addition is not associative, so the compiler cannot do this on its
-/// own); the fixed combine order keeps results deterministic across
-/// compilers and runs.
-void tile_dots(const float* rows, std::size_t n_rows, std::size_t dim, const float* q,
-               float* out) {
-  for (std::size_t i = 0; i < n_rows; ++i) {
-    const float* row = rows + i * dim;
-    float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
-    std::size_t j = 0;
-    for (; j + 4 <= dim; j += 4) {
-      acc0 += row[j] * q[j];
-      acc1 += row[j + 1] * q[j + 1];
-      acc2 += row[j + 2] * q[j + 2];
-      acc3 += row[j + 3] * q[j + 3];
-    }
-    for (; j < dim; ++j) acc0 += row[j] * q[j];
-    out[i] = (acc0 + acc1) + (acc2 + acc3);
-  }
+void KnnClassifier::rebuild_index() {
+  index_.clear();
+  // The index only accelerates the p = 2 dot-product algebra, and its
+  // traversal overhead beats the scan only past min_rows. build() can
+  // also refuse (non-finite training data); every predict then simply
+  // takes the scan, so the index is strictly opportunistic.
+  if (config_.index.mode == KnnIndexMode::kNone) return;
+  if (config_.minkowski_p != 2.0) return;
+  if (labels_.size() < config_.index.min_rows) return;
+  index_.build(FeatureView{train_data_.data(), labels_.size(), dim_}, config_.index);
 }
-
-}  // namespace
 
 void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
                                std::vector<double>& dist) const {
@@ -126,6 +89,14 @@ void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::si
   }
 }
 
+void KnnClassifier::top_k_fast(std::span<const float> query, std::vector<std::size_t>& idx,
+                               std::vector<double>& dist) const {
+  // Index first; any query it cannot serve exactly (not ready, or
+  // non-finite features outside the pruning algebra) takes the scan.
+  if (index_.ready() && index_.search(query, config_.k, idx, dist)) return;
+  top_k_scan(query, idx, dist);
+}
+
 void KnnClassifier::top_k_scan_scalar(std::span<const float> query,
                                       std::vector<std::size_t>& idx,
                                       std::vector<double>& dist) const {
@@ -155,8 +126,13 @@ void KnnClassifier::top_k_scan_scalar(std::span<const float> query,
 
 Label KnnClassifier::vote(std::span<const std::size_t> idx) const {
   // Majority vote; ties go to the lowest class id (sklearn behaviour).
+  // Unfilled slots (kTopKNoRow, possible when every distance was NaN)
+  // carry no vote.
   std::vector<std::uint32_t> votes(n_classes_, 0);
-  for (const std::size_t i : idx) ++votes[static_cast<std::size_t>(labels_[i])];
+  for (const std::size_t i : idx) {
+    if (i == kTopKNoRow) continue;
+    ++votes[static_cast<std::size_t>(labels_[i])];
+  }
   Label best = 0;
   for (std::size_t c = 1; c < votes.size(); ++c) {
     if (votes[c] > votes[static_cast<std::size_t>(best)]) best = static_cast<Label>(c);
@@ -170,7 +146,7 @@ Label KnnClassifier::predict_one(std::span<const float> query, bool scalar) cons
   if (scalar) {
     top_k_scan_scalar(query, idx, dist);
   } else {
-    top_k_scan(query, idx, dist);
+    top_k_fast(query, idx, dist);
   }
   return vote(idx);
 }
@@ -201,7 +177,7 @@ std::vector<std::size_t> KnnClassifier::kneighbors(std::span<const float> query)
   if (!is_fitted()) throw std::logic_error("knn: kneighbors before fit");
   std::vector<std::size_t> idx;
   std::vector<double> dist;
-  top_k_scan(query, idx, dist);
+  top_k_fast(query, idx, dist);
   return idx;
 }
 
@@ -232,22 +208,46 @@ bool KnnClassifier::load(std::istream& in) {
   std::uint32_t kind = 0;
   if (!io::read_header(in, kind) || kind != io::kKindKnn) return false;
   std::uint64_t k = 0, dim = 0, n_classes = 0;
-  if (!io::read_pod(in, k) || !io::read_pod(in, config_.minkowski_p) ||
-      !io::read_pod(in, dim) || !io::read_pod(in, n_classes)) {
+  double minkowski_p = 0.0;
+  if (!io::read_pod(in, k) || !io::read_pod(in, minkowski_p) || !io::read_pod(in, dim) ||
+      !io::read_pod(in, n_classes)) {
     return false;
   }
-  if (!io::read_vec(in, train_data_) || !io::read_vec(in, labels_)) return false;
+  // Every header field is hostile until proven otherwise. The ctor
+  // clamps k == 0 but a file bypasses the ctor: k == 0 would build an
+  // empty TopK whose dist_.back() is UB. p outside [1, inf) breaks the
+  // Minkowski metric axioms (and NaN poisons every comparison).
+  // dim/n_classes bound downstream allocations before they happen.
+  if (k == 0) return false;
+  if (!std::isfinite(minkowski_p) || minkowski_p < 1.0) return false;
+  if (dim == 0 || dim > kMaxDim) return false;
+  if (n_classes == 0 || n_classes > kMaxClasses) return false;
+  // Read into locals and commit only after every check passes, so a
+  // rejected stream leaves the model unfitted instead of half-loaded.
+  std::vector<float> train_data;
+  std::vector<Label> labels;
+  if (!io::read_vec(in, train_data, io::kMaxVecElems) ||
+      !io::read_vec(in, labels, io::kMaxVecElems)) {
+    return false;
+  }
+  if (labels.empty() || labels.size() * static_cast<std::size_t>(dim) != train_data.size()) {
+    return false;
+  }
+  for (const Label l : labels) {
+    // Out-of-range labels would be an OOB write in vote().
+    if (l < 0 || static_cast<std::uint64_t>(l) >= n_classes) return false;
+  }
   config_.k = static_cast<std::size_t>(k);
+  config_.minkowski_p = minkowski_p;
   dim_ = static_cast<std::size_t>(dim);
   n_classes_ = static_cast<std::size_t>(n_classes);
-  if (dim_ == 0 || labels_.size() * dim_ != train_data_.size()) return false;
+  train_data_ = std::move(train_data);
+  labels_ = std::move(labels);
   train_norms_.resize(labels_.size());
   for (std::size_t i = 0; i < labels_.size(); ++i) {
-    const float* row = train_data_.data() + i * dim_;
-    double n2 = 0.0;
-    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
-    train_norms_[i] = static_cast<float>(n2);
+    train_norms_[i] = row_norm_sq(train_data_.data() + i * dim_, dim_);
   }
+  rebuild_index();
   return true;
 }
 

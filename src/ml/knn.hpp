@@ -8,17 +8,24 @@
 // The inner loop is a blocked brute-force scan. For p = 2 we expand
 // ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2 and precompute the training-row
 // norms, turning the scan into a pure GEMV-shaped dot-product sweep.
-// The fast kernel walks the training matrix in row tiles and computes
-// each dot with four independent float accumulators: a naive serial
-// reduction is a single FP-add dependence chain the compiler may not
-// legally vectorize (float addition is not associative), so breaking it
-// into four chains pipelines the add latency and unlocks SLP
-// vectorization. The tile's distances land in a small buffer before the
-// top-k insertion runs, keeping the hot loop branch-free. For general p
-// the direct Minkowski sum is used. Queries are embarrassingly parallel
-// across the thread pool. The scalar reference scan is kept (and
-// exposed) so tests can assert the tiled kernel returns identical
-// neighbor indices.
+// The fast kernel (ml/knn_kernels.hpp) walks the training matrix in row
+// tiles and computes each dot with four independent float accumulators:
+// a naive serial reduction is a single FP-add dependence chain the
+// compiler may not legally vectorize (float addition is not
+// associative), so breaking it into four chains pipelines the add
+// latency and unlocks SLP vectorization. The tile's distances land in a
+// small buffer before the top-k insertion runs, keeping the hot loop
+// branch-free. For general p the direct Minkowski sum is used. Queries
+// are embarrassingly parallel across the thread pool. The scalar
+// reference scan is kept (and exposed) so tests can assert the tiled
+// kernel returns identical neighbor indices.
+//
+// On top of the scan sits an optional pruned spatial index
+// (ml/knn_index.hpp): fit()/load() build it when the training set
+// reaches config.index.min_rows and p == 2, predict() consults it
+// first, and any query the index cannot serve exactly (non-finite
+// features, index disabled/too small) falls back to the tiled scan.
+// The shared TopK tie-break keeps both paths bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +33,15 @@
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "ml/knn_index.hpp"
 
 namespace mcb {
 
 struct KnnConfig {
   std::size_t k = 5;
   double minkowski_p = 2.0;
+  /// Spatial-index knobs; mode = kNone forces the brute-force scan.
+  KnnIndexConfig index;
 };
 
 class KnnClassifier final : public Classifier {
@@ -40,8 +50,8 @@ class KnnClassifier final : public Classifier {
 
   void fit(FeatureView x, std::span<const Label> y) override;
 
-  /// Batched prediction through the tiled p=2 kernel (general p falls
-  /// back to the direct Minkowski scan).
+  /// Batched prediction: spatial index when built, else the tiled p=2
+  /// kernel (general p falls back to the direct Minkowski scan).
   std::vector<Label> predict(FeatureView x, ThreadPool* pool = nullptr) const override;
 
   /// Scalar reference path (one row at a time, serial-reduction dot).
@@ -52,11 +62,16 @@ class KnnClassifier final : public Classifier {
   std::string name() const override { return "knn"; }
   std::size_t n_classes() const noexcept override { return n_classes_; }
   std::size_t train_size() const noexcept { return labels_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
   const KnnConfig& config() const noexcept { return config_; }
 
+  /// The spatial index (ready() is false when the scan is in use).
+  const KnnIndex& index() const noexcept { return index_; }
+
   /// Indices of the k nearest training rows to `query` (ascending
-  /// distance). Exposed for tests and for the future-work "similar jobs"
-  /// use cases the paper sketches (§VI).
+  /// distance; kTopKNoRow pads slots no admissible candidate filled,
+  /// e.g. non-finite queries). Exposed for tests and for the
+  /// future-work "similar jobs" use cases the paper sketches (§VI).
   std::vector<std::size_t> kneighbors(std::span<const float> query) const;
 
   /// Scalar-scan counterpart of kneighbors (reference for tests).
@@ -68,10 +83,13 @@ class KnnClassifier final : public Classifier {
  private:
   Label predict_one(std::span<const float> query, bool scalar) const;
   Label vote(std::span<const std::size_t> idx) const;
+  void top_k_fast(std::span<const float> query, std::vector<std::size_t>& idx,
+                  std::vector<double>& dist) const;
   void top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
                   std::vector<double>& dist) const;
   void top_k_scan_scalar(std::span<const float> query, std::vector<std::size_t>& idx,
                          std::vector<double>& dist) const;
+  void rebuild_index();
 
   KnnConfig config_;
   std::size_t dim_ = 0;
@@ -79,6 +97,7 @@ class KnnClassifier final : public Classifier {
   std::vector<float> train_data_;   // row-major n x dim
   std::vector<float> train_norms_;  // ||x||^2 per row (p == 2 fast path)
   std::vector<Label> labels_;
+  KnnIndex index_;
 };
 
 }  // namespace mcb

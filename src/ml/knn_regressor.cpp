@@ -5,14 +5,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ml/knn_kernels.hpp"
 #include "ml/serialize.hpp"
+#include "ml/top_k.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mcb {
 
-namespace io {
-inline constexpr std::uint32_t kKindKnnRegressor = 4;
-}  // namespace io
+namespace {
+constexpr std::uint64_t kMaxDim = 1ULL << 24;
+}  // namespace
 
 KnnRegressor::KnnRegressor(KnnRegressorConfig config) : config_(config) {
   if (config_.k == 0) config_.k = 1;
@@ -26,11 +28,16 @@ void KnnRegressor::fit(FeatureView x, std::span<const double> y) {
   targets_.assign(y.begin(), y.end());
   train_norms_.resize(x.rows);
   for (std::size_t i = 0; i < x.rows; ++i) {
-    const float* row = train_data_.data() + i * dim_;
-    double n2 = 0.0;
-    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
-    train_norms_[i] = static_cast<float>(n2);
+    train_norms_[i] = row_norm_sq(train_data_.data() + i * dim_, dim_);
   }
+  rebuild_index();
+}
+
+void KnnRegressor::rebuild_index() {
+  index_.clear();
+  if (config_.index.mode == KnnIndexMode::kNone) return;
+  if (targets_.size() < config_.index.min_rows) return;
+  index_.build(FeatureView{train_data_.data(), targets_.size(), dim_}, config_.index);
 }
 
 double KnnRegressor::predict_one(std::span<const float> query) const {
@@ -38,44 +45,46 @@ double KnnRegressor::predict_one(std::span<const float> query) const {
   const std::size_t k = std::min(config_.k, n);
   thread_local std::vector<std::size_t> idx;
   thread_local std::vector<double> dist;
-  idx.assign(k, 0);
-  dist.assign(k, std::numeric_limits<double>::infinity());
 
-  const auto consider = [&](std::size_t row, double d) {
-    if (d >= dist.back()) return;
-    std::size_t pos = k - 1;
-    while (pos > 0 && dist[pos - 1] > d) {
-      dist[pos] = dist[pos - 1];
-      idx[pos] = idx[pos - 1];
-      --pos;
+  // Neighbor distances use the scan's query-norm-free key
+  // ||x||^2 - 2 q.x (the query norm is constant across rows, so the
+  // ranking is unchanged); it is added back below only where the true
+  // squared distance matters, in the 1/d weights.
+  if (!(index_.ready() && index_.search(query, config_.k, idx, dist))) {
+    TopK top(idx, dist, k);
+    float dots[kScanTile];
+    for (std::size_t base = 0; base < n; base += kScanTile) {
+      const std::size_t rows = std::min(kScanTile, n - base);
+      tile_dots(train_data_.data() + base * dim_, rows, dim_, query.data(), dots);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const double d =
+            static_cast<double>(train_norms_[base + i]) - 2.0 * static_cast<double>(dots[i]);
+        top.consider(base + i, d);
+      }
     }
-    dist[pos] = d;
-    idx[pos] = row;
-  };
-
-  double query_norm = 0.0;
-  for (const float q : query) query_norm += static_cast<double>(q) * q;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* row = train_data_.data() + i * dim_;
-    float dot = 0.0F;
-    for (std::size_t j = 0; j < dim_; ++j) dot += row[j] * query[j];
-    consider(i, query_norm + static_cast<double>(train_norms_[i]) -
-                    2.0 * static_cast<double>(dot));
   }
 
   if (!config_.distance_weighted) {
     double sum = 0.0;
-    for (const std::size_t i : idx) sum += targets_[i];
-    return sum / static_cast<double>(k);
+    std::size_t count = 0;
+    for (const std::size_t i : idx) {
+      if (i == kTopKNoRow) continue;  // no admissible neighbor (NaN query)
+      sum += targets_[i];
+      ++count;
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
   // Inverse-distance weighting; exact matches dominate (epsilon floor).
+  double query_norm = 0.0;
+  for (const float q : query) query_norm += static_cast<double>(q) * q;
   double weighted = 0.0, total_weight = 0.0;
-  for (std::size_t j = 0; j < k; ++j) {
-    const double w = 1.0 / (std::sqrt(std::max(dist[j], 0.0)) + 1e-9);
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    if (idx[j] == kTopKNoRow) continue;
+    const double w = 1.0 / (std::sqrt(std::max(dist[j] + query_norm, 0.0)) + 1e-9);
     weighted += w * targets_[idx[j]];
     total_weight += w;
   }
-  return weighted / total_weight;
+  return total_weight > 0.0 ? weighted / total_weight : 0.0;
 }
 
 std::vector<double> KnnRegressor::predict(FeatureView x, ThreadPool* pool) const {
@@ -89,9 +98,12 @@ std::vector<double> KnnRegressor::predict(FeatureView x, ThreadPool* pool) const
 }
 
 bool KnnRegressor::save(std::ostream& out) const {
+  if (!is_fitted()) return false;
   io::write_header(out, io::kKindKnnRegressor);
   io::write_pod(out, static_cast<std::uint64_t>(config_.k));
-  io::write_pod(out, config_.distance_weighted);
+  // Serialized as uint8_t: reading an arbitrary file byte into a C++
+  // bool is UB for values other than 0/1 (UBSan "invalid bool load").
+  io::write_pod(out, static_cast<std::uint8_t>(config_.distance_weighted ? 1 : 0));
   io::write_pod(out, static_cast<std::uint64_t>(dim_));
   io::write_vec(out, train_data_);
   io::write_vec(out, targets_);
@@ -102,21 +114,35 @@ bool KnnRegressor::load(std::istream& in) {
   std::uint32_t kind = 0;
   if (!io::read_header(in, kind) || kind != io::kKindKnnRegressor) return false;
   std::uint64_t k = 0, dim = 0;
-  if (!io::read_pod(in, k) || !io::read_pod(in, config_.distance_weighted) ||
-      !io::read_pod(in, dim)) {
+  std::uint8_t distance_weighted = 0;
+  if (!io::read_pod(in, k) || !io::read_pod(in, distance_weighted) || !io::read_pod(in, dim)) {
     return false;
   }
-  if (!io::read_vec(in, train_data_) || !io::read_vec(in, targets_)) return false;
+  // k == 0 from a file would build an empty TopK (dist_.back() UB) and
+  // divide by zero in the unweighted mean; the ctor clamp does not
+  // protect this path. The flag byte must be a canonical bool.
+  if (k == 0) return false;
+  if (distance_weighted > 1) return false;
+  if (dim == 0 || dim > kMaxDim) return false;
+  std::vector<float> train_data;
+  std::vector<double> targets;
+  if (!io::read_vec(in, train_data, io::kMaxVecElems) ||
+      !io::read_vec(in, targets, io::kMaxVecElems)) {
+    return false;
+  }
+  if (targets.empty() || targets.size() * static_cast<std::size_t>(dim) != train_data.size()) {
+    return false;
+  }
   config_.k = static_cast<std::size_t>(k);
+  config_.distance_weighted = distance_weighted != 0;
   dim_ = static_cast<std::size_t>(dim);
-  if (dim_ == 0 || targets_.size() * dim_ != train_data_.size()) return false;
+  train_data_ = std::move(train_data);
+  targets_ = std::move(targets);
   train_norms_.resize(targets_.size());
   for (std::size_t i = 0; i < targets_.size(); ++i) {
-    const float* row = train_data_.data() + i * dim_;
-    double n2 = 0.0;
-    for (std::size_t j = 0; j < dim_; ++j) n2 += static_cast<double>(row[j]) * row[j];
-    train_norms_[i] = static_cast<float>(n2);
+    train_norms_[i] = row_norm_sq(train_data_.data() + i * dim_, dim_);
   }
+  rebuild_index();
   return true;
 }
 

@@ -6,6 +6,11 @@
 // the same neighbor search as the memory/compute classifier with the
 // vote replaced by a (optionally distance-weighted) mean of the
 // neighbors' target values.
+//
+// The neighbor search shares the classifier's machinery outright: the
+// tiled tile_dots kernel, the TopK tie-break (lower row id wins on equal
+// distance) and the pruned spatial index, so classifier and regressor
+// pick identical neighbor sets for identical data by construction.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/knn_index.hpp"
 
 namespace mcb {
 
@@ -22,6 +28,8 @@ class ThreadPool;
 struct KnnRegressorConfig {
   std::size_t k = 5;
   bool distance_weighted = false;  ///< 1/d weights instead of uniform mean
+  /// Spatial-index knobs; mode = kNone forces the brute-force scan.
+  KnnIndexConfig index;
 };
 
 class KnnRegressor {
@@ -31,6 +39,11 @@ class KnnRegressor {
   void fit(FeatureView x, std::span<const double> y);
   bool is_fitted() const noexcept { return !targets_.empty(); }
   std::size_t train_size() const noexcept { return targets_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+  const KnnRegressorConfig& config() const noexcept { return config_; }
+
+  /// The spatial index (ready() is false when the scan is in use).
+  const KnnIndex& index() const noexcept { return index_; }
 
   double predict_one(std::span<const float> query) const;
   std::vector<double> predict(FeatureView x, ThreadPool* pool = nullptr) const;
@@ -39,11 +52,14 @@ class KnnRegressor {
   bool load(std::istream& in);
 
  private:
+  void rebuild_index();
+
   KnnRegressorConfig config_;
   std::size_t dim_ = 0;
   std::vector<float> train_data_;
   std::vector<float> train_norms_;
   std::vector<double> targets_;
+  KnnIndex index_;
 };
 
 /// Regression quality metrics for the future-work benches.

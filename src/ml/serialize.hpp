@@ -63,5 +63,16 @@ inline constexpr std::uint32_t kKindKnn = 1;
 inline constexpr std::uint32_t kKindRandomForest = 2;
 inline constexpr std::uint32_t kKindBaseline = 3;
 inline constexpr std::uint32_t kKindFlatForest = 4;
+// 5 was silently colliding with kKindFlatForest when KnnRegressor kept a
+// private tag of 4; all kinds now live here so collisions are impossible.
+inline constexpr std::uint32_t kKindKnnRegressor = 5;
+inline constexpr std::uint32_t kKindKnnIndex = 6;
+
+/// Upper bound on elements accepted for any single model vector. read_vec
+/// resizes before reading, so without a cap a crafted 8-byte length prefix
+/// forces a multi-GB allocation; 2^28 elements (1 GiB of floats) is far
+/// beyond any model this repo produces while keeping worst-case
+/// allocations bounded for the fuzz harness.
+inline constexpr std::uint64_t kMaxVecElems = 1ULL << 28;
 
 }  // namespace mcb::io

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
 #include "ml/baseline.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/knn.hpp"
+#include "ml/knn_regressor.hpp"
 #include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
@@ -625,6 +628,191 @@ TEST(ModelFiles, BitFlippedMagicRejected) {
   std::stringstream in(bytes);
   KnnClassifier loaded;
   EXPECT_FALSE(loaded.load(in));
+}
+
+// ------------------------- hardened deserialization (crafted streams)
+//
+// These streams are built field by field with the same io primitives the
+// models use, so they are byte-identical to what save() emits except for
+// the one poisoned field under test. Every rejected stream must leave
+// the model unfitted (no half-loaded state).
+
+std::string craft_knn_classifier(std::uint64_t k, double p, std::uint64_t dim,
+                                 std::uint64_t n_classes, const std::vector<float>& data,
+                                 const std::vector<Label>& labels) {
+  std::stringstream out;
+  io::write_header(out, io::kKindKnn);
+  io::write_pod(out, k);
+  io::write_pod(out, p);
+  io::write_pod(out, dim);
+  io::write_pod(out, n_classes);
+  io::write_vec(out, data);
+  io::write_vec(out, labels);
+  return out.str();
+}
+
+std::string craft_knn_regressor(std::uint64_t k, std::uint8_t weighted, std::uint64_t dim,
+                                const std::vector<float>& data,
+                                const std::vector<double>& targets) {
+  std::stringstream out;
+  io::write_header(out, io::kKindKnnRegressor);
+  io::write_pod(out, k);
+  io::write_pod(out, weighted);
+  io::write_pod(out, dim);
+  io::write_vec(out, data);
+  io::write_vec(out, targets);
+  return out.str();
+}
+
+TEST(ModelHardening, CraftedClassifierStreamMatchesSaveFormat) {
+  // Canary: if the crafting helper drifts from the real on-disk layout,
+  // every rejection test below would pass vacuously. A fully valid
+  // crafted stream must load and predict.
+  const std::vector<float> data{0.0F, 0.0F, 1.0F, 1.0F};
+  const std::vector<Label> labels{0, 1};
+  std::stringstream in(craft_knn_classifier(1, 2.0, 2, 2, data, labels));
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.load(in));
+  EXPECT_EQ(knn.train_size(), 2U);
+  const std::vector<float> query{0.1F, -0.1F};
+  FeatureView view{query.data(), 1, 2};
+  EXPECT_EQ(knn.predict(view)[0], 0);
+}
+
+TEST(ModelHardening, ClassifierRejectsKZero) {
+  // The ctor clamps k == 0 but load() bypasses the ctor; an accepted
+  // k == 0 builds an empty TopK whose dist_.back() is UB.
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<Label> labels{0, 1};
+  std::stringstream in(craft_knn_classifier(0, 2.0, 1, 2, data, labels));
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.load(in));
+  EXPECT_FALSE(knn.is_fitted());
+}
+
+TEST(ModelHardening, ClassifierRejectsNegativeLabel) {
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<Label> labels{0, -1};  // OOB write in vote()
+  std::stringstream in(craft_knn_classifier(1, 2.0, 1, 2, data, labels));
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.load(in));
+  EXPECT_FALSE(knn.is_fitted());
+}
+
+TEST(ModelHardening, ClassifierRejectsLabelBeyondNClasses) {
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<Label> labels{0, 2};  // == n_classes → votes[2] OOB
+  std::stringstream in(craft_knn_classifier(1, 2.0, 1, 2, data, labels));
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.load(in));
+  EXPECT_FALSE(knn.is_fitted());
+}
+
+TEST(ModelHardening, ClassifierRejectsBadMinkowskiP) {
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<Label> labels{0, 1};
+  for (const double p : {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(), 0.5, -2.0, 0.0}) {
+    std::stringstream in(craft_knn_classifier(1, p, 1, 2, data, labels));
+    KnnClassifier knn;
+    EXPECT_FALSE(knn.load(in)) << "p = " << p;
+  }
+}
+
+TEST(ModelHardening, ClassifierRejectsZeroClassesAndHugeFields) {
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<Label> labels{0, 1};
+  {
+    std::stringstream in(craft_knn_classifier(1, 2.0, 1, 0, data, labels));
+    KnnClassifier knn;
+    EXPECT_FALSE(knn.load(in)) << "n_classes == 0";
+  }
+  {
+    // A giant n_classes would make vote() allocate a counter per class.
+    std::stringstream in(craft_knn_classifier(1, 2.0, 1, 1ULL << 40, data, labels));
+    KnnClassifier knn;
+    EXPECT_FALSE(knn.load(in)) << "n_classes == 2^40";
+  }
+  {
+    // A giant dim fails the rows * dim == data check only modulo 2^64;
+    // the explicit cap rejects it before any arithmetic can wrap.
+    std::stringstream in(craft_knn_classifier(1, 2.0, 1ULL << 40, 2, data, labels));
+    KnnClassifier knn;
+    EXPECT_FALSE(knn.load(in)) << "dim == 2^40";
+  }
+}
+
+TEST(ModelHardening, ClassifierRejectsEmptyTrainingSet) {
+  std::stringstream in(craft_knn_classifier(1, 2.0, 1, 2, {}, {}));
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.load(in));
+  EXPECT_FALSE(knn.is_fitted());
+}
+
+TEST(ModelHardening, RegressorCraftedStreamMatchesSaveFormat) {
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<double> targets{10.0, 20.0};
+  std::stringstream in(craft_knn_regressor(1, 0, 1, data, targets));
+  KnnRegressor reg;
+  ASSERT_TRUE(reg.load(in));
+  const std::vector<float> query{0.1F};
+  EXPECT_DOUBLE_EQ(reg.predict_one(query), 10.0);
+}
+
+TEST(ModelHardening, RegressorRejectsKZero) {
+  // k == 0 in the regressor is both the empty-TopK UB and a division by
+  // zero in the unweighted average.
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<double> targets{10.0, 20.0};
+  std::stringstream in(craft_knn_regressor(0, 0, 1, data, targets));
+  KnnRegressor reg;
+  EXPECT_FALSE(reg.load(in));
+  EXPECT_FALSE(reg.is_fitted());
+}
+
+TEST(ModelHardening, RegressorRejectsNonCanonicalBoolByte) {
+  // The weighted flag is (de)serialized as uint8_t precisely so load can
+  // reject bytes other than 0/1 instead of loading them into a bool (UB).
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<double> targets{10.0, 20.0};
+  std::stringstream in(craft_knn_regressor(1, 2, 1, data, targets));
+  KnnRegressor reg;
+  EXPECT_FALSE(reg.load(in));
+}
+
+TEST(ModelHardening, RegressorAndFlatForestKindsNoLongerCollide) {
+  // KnnRegressor used to keep a private kind tag of 4 — the same value
+  // as kKindFlatForest — so each model's loader would happily start
+  // parsing the other's payload. Both directions must now be rejected
+  // at the header.
+  const std::vector<float> data{0.0F, 1.0F};
+  const std::vector<double> targets{10.0, 20.0};
+  KnnRegressor reg;
+  {
+    std::stringstream stream(craft_knn_regressor(1, 0, 1, data, targets));
+    ASSERT_TRUE(reg.load(stream));
+  }
+  std::stringstream reg_bytes;
+  ASSERT_TRUE(reg.save(reg_bytes));
+  FlatForest forest;
+  EXPECT_FALSE(forest.load(reg_bytes));
+}
+
+TEST(ModelHardening, RegressorTruncatedStreamsFailCleanly) {
+  std::vector<float> data(64);
+  std::vector<double> targets(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    data[2 * i] = static_cast<float>(i);
+    data[2 * i + 1] = static_cast<float>(i) * 0.5F;
+    targets[i] = static_cast<double>(i);
+  }
+  const std::string bytes = craft_knn_regressor(3, 1, 2, data, targets);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::stringstream in(bytes.substr(0, cut));
+    KnnRegressor reg;
+    EXPECT_FALSE(reg.load(in)) << "cut at " << cut;
+    EXPECT_FALSE(reg.is_fitted());
+  }
 }
 
 TEST(RandomForest, EmptyTrainingThrows) {

@@ -708,6 +708,49 @@ TEST_F(ApiTest, ModelInfoListsFeatures) {
   EXPECT_NEAR((*json)["ridge_point_flops_per_byte"].as_double(), 3.3, 0.05);
 }
 
+TEST_F(ApiTest, ModelInfoReportsKnnIndexState) {
+  // 60 training rows sit below the index's min_rows threshold, so this
+  // deployment serves through the scan: the knn_index object must say
+  // so rather than disappear.
+  ASSERT_EQ(call("POST", "/train", "{\"now\": " + std::to_string(last_end_ + 10) + "}").status,
+            201);
+  const auto scan_info = Json::parse(call("GET", "/model/info").body);
+  ASSERT_TRUE(scan_info->contains("knn_index"));
+  EXPECT_EQ((*scan_info)["knn_index"]["mode"].as_string(), "none");
+  EXPECT_TRUE((*scan_info)["knn_index"]["exact"].as_bool(false));
+
+  // Lowering min_rows (the knn_index_min_rows config knob) flips the
+  // same deployment to the bounding-box tree, and the stats follow.
+  FrameworkConfig indexed_config = config_;
+  indexed_config.knn.index.min_rows = 1;
+  Framework indexed_framework(indexed_config, store_);
+  ApiServer indexed_api(indexed_framework);
+  HttpRequest train;
+  train.method = "POST";
+  train.path = "/train";
+  train.body = "{\"now\": " + std::to_string(last_end_ + 10) + "}";
+  ASSERT_EQ(indexed_api.dispatch(train).status, 201);
+  HttpRequest info;
+  info.method = "GET";
+  info.path = "/model/info";
+  const auto tree_info = Json::parse(indexed_api.dispatch(info).body);
+  ASSERT_TRUE(tree_info->contains("knn_index"));
+  EXPECT_EQ((*tree_info)["knn_index"]["mode"].as_string(), "tree");
+  EXPECT_TRUE((*tree_info)["knn_index"]["exact"].as_bool(false));
+  EXPECT_EQ((*tree_info)["knn_index"]["rows"].as_int(), 60);
+  EXPECT_GE((*tree_info)["knn_index"]["unique_rows"].as_int(), 1);
+  EXPECT_LE((*tree_info)["knn_index"]["unique_rows"].as_int(), 60);
+
+  // The same state reaches the metrics endpoint as mcb_knn_index_*.
+  HttpRequest metrics;
+  metrics.method = "GET";
+  metrics.path = "/metrics";
+  metrics.query = "format=prometheus";
+  const std::string exposition = indexed_api.dispatch(metrics).body;
+  EXPECT_NE(exposition.find("mcb_knn_index_info{mode=\"tree\""), std::string::npos);
+  EXPECT_NE(exposition.find("mcb_knn_index_rows{kind=\"unique\"}"), std::string::npos);
+}
+
 TEST_F(ApiTest, EncodeEndpointReturnsNormalizedEmbedding) {
   const auto response =
       call("POST", "/encode", R"({"job_name":"stream_app","user_name":"u1"})");

@@ -15,9 +15,16 @@
 //
 // direction: which way is better ("higher" = throughput/speedup,
 //            "lower" = latency). gate: "fail" metrics hard-fail the run
-//            when they regress past 2x; "warn" metrics only ever warn.
+//            when they regress past 2x; "warn" metrics only ever warn;
+//            "floor" metrics are absolute acceptance thresholds — any
+//            fresh value worse than the baseline value hard-fails, with
+//            no regression slack (used for contractual minimums like
+//            the spatial-index speedup, where the baseline is the
+//            requirement itself rather than a measured sample).
 // Any gated metric regressed >= 2.0x  -> exit 1 (hard failure).
 // Any metric regressed >= 1.25x       -> WARN line, exit stays 0.
+// Any "floor" metric below its value  -> exit 1; within 25% above the
+//                                        floor -> WARN.
 //
 // The 2x hard threshold is deliberately loose so shared CI runners
 // (noisy neighbors, frequency scaling) do not flake the gate; the
@@ -94,7 +101,7 @@ int check_pair(const std::string& baseline_path, const std::string& fresh_path) 
     const std::string direction = entry["direction"].as_string();
     const std::string gate = entry["gate"].as_string();
     if (base_value <= 0.0 || (direction != "higher" && direction != "lower") ||
-        (gate != "fail" && gate != "warn")) {
+        (gate != "fail" && gate != "warn" && gate != "floor")) {
       std::fprintf(stderr, "  FAIL  %s: malformed baseline entry\n", name.c_str());
       ++failures;
       continue;
@@ -114,7 +121,15 @@ int check_pair(const std::string& baseline_path, const std::string& fresh_path) 
     const double factor =
         direction == "higher" ? base_value / fresh_value : fresh_value / base_value;
     const char* verdict = "ok  ";
-    if (factor >= kFailFactor && gate == "fail") {
+    if (gate == "floor") {
+      // Absolute threshold: the baseline value IS the requirement.
+      if (factor > 1.0) {
+        verdict = "FAIL";
+        ++failures;
+      } else if (factor >= 1.0 / kWarnFactor) {
+        verdict = "WARN";  // passing, but within 25% of the floor
+      }
+    } else if (factor >= kFailFactor && gate == "fail") {
       verdict = "FAIL";
       ++failures;
     } else if (factor >= kWarnFactor) {
