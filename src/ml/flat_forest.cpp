@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ml/serialize.hpp"
+#include "util/annotations.hpp"
 
 namespace mcb {
 
@@ -66,8 +67,9 @@ void FlatForest::build(std::span<const DecisionTree> trees, const FeatureBinner&
   }
 }
 
-void FlatForest::accumulate_proba_block(FeatureView x, std::size_t row_begin,
-                                        std::size_t row_end, double* probs) const {
+MCB_HOT_PATH void FlatForest::accumulate_proba_block(FeatureView x, std::size_t row_begin,
+                                                     std::size_t row_end,
+                                                     double* probs) const {
   const std::uint32_t* feature = feature_.data();
   const float* threshold = threshold_.data();
   const std::int32_t* left = left_.data();
@@ -90,7 +92,8 @@ void FlatForest::accumulate_proba_block(FeatureView x, std::size_t row_begin,
   }
 }
 
-void FlatForest::accumulate_proba(std::span<const float> row, double* probs) const {
+MCB_HOT_PATH void FlatForest::accumulate_proba(std::span<const float> row,
+                                               double* probs) const {
   const FeatureView view{row.data(), 1, row.size()};
   accumulate_proba_block(view, 0, 1, probs);
 }

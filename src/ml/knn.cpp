@@ -8,6 +8,7 @@
 #include "ml/knn_kernels.hpp"
 #include "ml/serialize.hpp"
 #include "ml/top_k.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mcb {
@@ -57,8 +58,9 @@ void KnnClassifier::rebuild_index() {
   index_.build(FeatureView{train_data_.data(), labels_.size(), dim_}, config_.index);
 }
 
-void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::size_t>& idx,
-                               std::vector<double>& dist) const {
+MCB_HOT_PATH void KnnClassifier::top_k_scan(std::span<const float> query,
+                                            std::vector<std::size_t>& idx,
+                                            std::vector<double>& dist) const {
   const std::size_t n = labels_.size();
   TopK top(idx, dist, std::min(config_.k, n));
 
@@ -89,17 +91,18 @@ void KnnClassifier::top_k_scan(std::span<const float> query, std::vector<std::si
   }
 }
 
-void KnnClassifier::top_k_fast(std::span<const float> query, std::vector<std::size_t>& idx,
-                               std::vector<double>& dist) const {
+MCB_HOT_PATH void KnnClassifier::top_k_fast(std::span<const float> query,
+                                            std::vector<std::size_t>& idx,
+                                            std::vector<double>& dist) const {
   // Index first; any query it cannot serve exactly (not ready, or
   // non-finite features outside the pruning algebra) takes the scan.
   if (index_.ready() && index_.search(query, config_.k, idx, dist)) return;
   top_k_scan(query, idx, dist);
 }
 
-void KnnClassifier::top_k_scan_scalar(std::span<const float> query,
-                                      std::vector<std::size_t>& idx,
-                                      std::vector<double>& dist) const {
+MCB_HOT_PATH void KnnClassifier::top_k_scan_scalar(std::span<const float> query,
+                                                   std::vector<std::size_t>& idx,
+                                                   std::vector<double>& dist) const {
   const std::size_t n = labels_.size();
   TopK top(idx, dist, std::min(config_.k, n));
 
@@ -140,7 +143,8 @@ Label KnnClassifier::vote(std::span<const std::size_t> idx) const {
   return best;
 }
 
-Label KnnClassifier::predict_one(std::span<const float> query, bool scalar) const {
+MCB_HOT_PATH Label KnnClassifier::predict_one(std::span<const float> query,
+                                              bool scalar) const {
   thread_local std::vector<std::size_t> idx;
   thread_local std::vector<double> dist;
   if (scalar) {

@@ -10,6 +10,7 @@
 #include "ml/knn_kernels.hpp"
 #include "ml/serialize.hpp"
 #include "ml/top_k.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace mcb {
@@ -328,7 +329,7 @@ bool KnnIndex::build(FeatureView data, const KnnIndexConfig& config) {
 
 // --------------------------------------------------------------- search
 
-double KnnIndex::node_min_dist_sq(std::size_t node, const float* q) const {
+MCB_HOT_PATH double KnnIndex::node_min_dist_sq(std::size_t node, const float* q) const {
   const float* lo = bounds_lo_.data() + node * dim_;
   const float* hi = bounds_hi_.data() + node * dim_;
   double sum = 0.0;
@@ -344,8 +345,8 @@ double KnnIndex::node_min_dist_sq(std::size_t node, const float* q) const {
   return sum;
 }
 
-void KnnIndex::scan_segment(std::uint32_t begin, std::uint32_t end, const float* q,
-                            std::size_t k, TopK& top) const {
+MCB_HOT_PATH void KnnIndex::scan_segment(std::uint32_t begin, std::uint32_t end,
+                                         const float* q, std::size_t k, TopK& top) const {
   float dots[kScanTile];
   for (std::uint32_t base = begin; base < end; base += kScanTile) {
     const std::size_t count = std::min<std::size_t>(kScanTile, end - base);
@@ -367,6 +368,11 @@ void KnnIndex::scan_segment(std::uint32_t begin, std::uint32_t end, const float*
   }
 }
 
+// Traversal scratch lives in thread_local vectors (same idiom as
+// KnnClassifier::predict_one): after the first few queries on a thread
+// the capacity is warm and the fast path performs no allocation.
+MCB_HOT_PATH
+// mcb-lint: suppress(R10: warm thread_local scratch — growth amortizes to zero across queries)
 bool KnnIndex::search(std::span<const float> query, std::size_t k,
                       std::vector<std::size_t>& idx, std::vector<double>& dist) const {
   if (!ready() || query.size() != dim_ || k == 0) return false;
@@ -388,7 +394,8 @@ bool KnnIndex::search(std::span<const float> query, std::size_t k,
       const double slack = kPruneSlackRel * (1.0 + std::abs(query_norm) + std::abs(tau));
       return bound_sq - query_norm > tau + slack;
     };
-    std::vector<std::pair<std::int32_t, double>> stack;
+    thread_local std::vector<std::pair<std::int32_t, double>> stack;
+    stack.clear();
     stack.reserve(64);
     stack.emplace_back(0, node_min_dist_sq(0, q));
     while (!stack.empty()) {
@@ -412,7 +419,8 @@ bool KnnIndex::search(std::span<const float> query, std::size_t k,
     }
   } else {
     const std::size_t cells = cell_offsets_.size() - 1;
-    std::vector<std::pair<double, std::uint32_t>> ranked(cells);
+    thread_local std::vector<std::pair<double, std::uint32_t>> ranked;
+    ranked.resize(cells);
     for (std::size_t cell = 0; cell < cells; ++cell) {
       const float* ctr = centroids_.data() + cell * dim_;
       double d2 = 0.0;

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "util/annotations.hpp"
+
 namespace mcb {
 
 /// Training rows per tile of the p=2 fast scan: distances for a whole
@@ -22,8 +24,8 @@ inline constexpr std::size_t kScanTile = 128;
 /// addition is not associative, so the compiler cannot do this on its
 /// own); the fixed combine order keeps results deterministic across
 /// compilers and runs.
-inline void tile_dots(const float* rows, std::size_t n_rows, std::size_t dim, const float* q,
-                      float* out) {
+MCB_HOT_PATH inline void tile_dots(const float* rows, std::size_t n_rows, std::size_t dim,
+                                   const float* q, float* out) {
   for (std::size_t i = 0; i < n_rows; ++i) {
     const float* row = rows + i * dim;
     float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
@@ -42,7 +44,7 @@ inline void tile_dots(const float* rows, std::size_t n_rows, std::size_t dim, co
 /// ||row||^2 in double, rounded to float — the exact expression fit()
 /// and the index both use, so per-row norms are bitwise identical
 /// wherever they are computed.
-inline float row_norm_sq(const float* row, std::size_t dim) {
+MCB_HOT_PATH inline float row_norm_sq(const float* row, std::size_t dim) {
   double n2 = 0.0;
   for (std::size_t j = 0; j < dim; ++j) n2 += static_cast<double>(row[j]) * row[j];
   return static_cast<float>(n2);

@@ -21,6 +21,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace mcb {
 
 /// Sentinel row id for top-k slots that were never filled (fewer than k
@@ -43,7 +45,7 @@ class TopK {
     return d < incumbent_d || (d == incumbent_d && row < incumbent_row);
   }
 
-  void consider(std::size_t row, double d) {
+  MCB_HOT_PATH void consider(std::size_t row, double d) {
     if (!better(d, row, dist_.back(), idx_.back())) return;
     std::size_t pos = k_ - 1;
     while (pos > 0 && better(d, row, dist_[pos - 1], idx_[pos - 1])) {

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <random>
 
+#include "util/annotations.hpp"
+
 namespace mcb::obs {
 namespace {
 
@@ -55,18 +57,19 @@ void TraceContext::adopt_id(std::string_view client_id) {
 
 TraceContext* current_trace() noexcept { return t_current_trace; }
 
-TraceScope::TraceScope(TraceContext* trace) noexcept : previous_(t_current_trace) {
+MCB_HOT_PATH TraceScope::TraceScope(TraceContext* trace) noexcept
+    : previous_(t_current_trace) {
   t_current_trace = trace;
 }
 
-TraceScope::~TraceScope() { t_current_trace = previous_; }
+MCB_HOT_PATH TraceScope::~TraceScope() { t_current_trace = previous_; }
 
-Span::Span(TraceContext* trace, Stage stage) noexcept
+MCB_HOT_PATH Span::Span(TraceContext* trace, Stage stage) noexcept
     : trace_(trace), stage_(stage) {
   if (trace_ != nullptr) start_ns_ = trace_->tracer_->now_ns();
 }
 
-Span::~Span() {
+MCB_HOT_PATH Span::~Span() {
   if (trace_ == nullptr) return;
   const std::uint64_t end_ns = trace_->tracer_->now_ns();
   const std::uint64_t elapsed = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;

@@ -164,8 +164,13 @@ class RequestTracer final : public Collector {
   /// (used by Span; exposed for tests).
   void record_stage(Stage stage, std::uint64_t ns) noexcept;
 
-  /// Current steady time through the clock seam, in ns.
-  std::uint64_t now_ns() const { return clock_(); }
+  /// Current steady time through the clock seam, in ns. noexcept so the
+  /// Span destructor (which calls this on the hot path) is provably
+  /// non-throwing: clock_ is never empty — the constructor installs
+  /// steady_now_ns and set_clock() replaces an empty argument with it —
+  /// so the std::function invocation cannot raise bad_function_call.
+  // NOLINTNEXTLINE(bugprone-exception-escape) — see invariant above
+  std::uint64_t now_ns() const noexcept { return clock_(); }
 
   /// Replace the steady-clock seam (tests inject a fake clock). Not
   /// thread-safe; call before serving starts.

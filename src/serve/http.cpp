@@ -1,5 +1,6 @@
 #include "serve/http.hpp"
 
+#include "util/annotations.hpp"
 #include "util/strings.hpp"
 
 namespace mcb {
@@ -21,6 +22,8 @@ std::string_view http_status_text(int status) noexcept {
   }
 }
 
+MCB_HOT_PATH
+// mcb-lint: suppress(R10: builds the owning HttpRequest — one bounded copy of the head per request by design)
 std::optional<HttpRequest> parse_http_request(std::string_view raw) {
   const std::size_t head_end = raw.find("\r\n\r\n");
   if (head_end == std::string_view::npos) return std::nullopt;
@@ -105,23 +108,25 @@ std::string serialize_http_response(const HttpResponse& response) {
   return out;
 }
 
-std::size_t expected_request_length(std::string_view received) {
+MCB_HOT_PATH std::size_t expected_request_length(std::string_view received) {
   const std::size_t head_end = received.find("\r\n\r\n");
   if (head_end == std::string_view::npos) return 0;
   std::size_t content_length = 0;
-  // Cheap scan for the Content-Length header inside the head.
-  const std::string head = to_lower(received.substr(0, head_end));
-  const std::size_t pos = head.find("content-length:");
-  if (pos != std::string::npos) {
-    if (head.find("content-length:", pos + 1) != std::string::npos) {
+  // Scan for the Content-Length header inside the head. This runs once
+  // per recv() chunk, so it must stay allocation-free: the previous
+  // to_lower(substr(...)) shape copied and re-lowered the whole head on
+  // every chunk of a slowly-arriving request.
+  const std::string_view head = received.substr(0, head_end);
+  const std::size_t pos = ifind(head, "content-length:");
+  if (pos != std::string_view::npos) {
+    if (ifind(head, "content-length:", pos + 1) != std::string_view::npos) {
       return kInvalidRequestFraming;  // duplicate header: framing ambiguous
     }
     std::uint64_t length = 0;
     std::size_t value_start = pos + 15;
     std::size_t value_end = head.find("\r\n", value_start);
-    if (value_end == std::string::npos) value_end = head.size();
-    if (!parse_u64(trim(std::string_view(head).substr(value_start, value_end - value_start)),
-                   length)) {
+    if (value_end == std::string_view::npos) value_end = head.size();
+    if (!parse_u64(trim(head.substr(value_start, value_end - value_start)), length)) {
       return kInvalidRequestFraming;  // would silently truncate the body
     }
     // Guard the head + 4 + length sum against size_t wraparound: a hostile

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/annotations.hpp"
+
 namespace mcb {
 
 ShardedEmbeddingCache::ShardedEmbeddingCache(std::size_t dim, EmbeddingCacheConfig config)
@@ -22,6 +24,8 @@ const ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
   return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
 }
 
+MCB_HOT_PATH
+// mcb-lint: suppress(R12: sharded per-key mutex — the critical section is a find + splice, contention bounded by the shard count)
 bool ShardedEmbeddingCache::lookup(std::string_view key, std::span<float> out) {
   Shard& shard = shard_for(key);
   {

@@ -79,3 +79,16 @@
 /// carries a comment explaining why, and is reviewed like a cast.
 #define MCB_NO_THREAD_SAFETY_ANALYSIS \
   MCB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------
+// Hot-path marker (DESIGN.md §12).
+//
+// Prefix a function *definition* with MCB_HOT_PATH to declare that its
+// body is on the serving or inference fast path. The marker expands to
+// nothing — it exists for mcbound_lint, whose hot-path pass
+// brace-matches the annotated body and enforces that it stays
+// allocation-free (R10), non-throwing and non-blocking (R11), and
+// lock-free (R12). Exceptions need an adjacent suppression comment with
+// a reason; the marker on a bare declaration is itself an error (R16),
+// so an annotation can never silently guard nothing.
+#define MCB_HOT_PATH

@@ -44,6 +44,21 @@ std::string to_lower(std::string_view text) {
   return out;
 }
 
+std::size_t ifind(std::string_view text, std::string_view needle,
+                  std::size_t from) noexcept {
+  if (needle.empty()) return from <= text.size() ? from : std::string_view::npos;
+  if (needle.size() > text.size()) return std::string_view::npos;
+  const auto lower = [](char c) {
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  for (std::size_t i = from; i + needle.size() <= text.size(); ++i) {
+    std::size_t j = 0;
+    while (j < needle.size() && lower(text[i + j]) == needle[j]) ++j;
+    if (j == needle.size()) return i;
+  }
+  return std::string_view::npos;
+}
+
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.starts_with(prefix);
 }

@@ -19,6 +19,13 @@ std::string_view trim(std::string_view text);
 /// ASCII lower-casing (locale independent).
 std::string to_lower(std::string_view text);
 
+/// Case-insensitive (ASCII) substring search, starting at `from`.
+/// `needle` must already be lower-case. Allocation-free — hot parse
+/// loops use this instead of to_lower + find, which copies the whole
+/// haystack per call. Returns npos when absent.
+std::size_t ifind(std::string_view text, std::string_view needle,
+                  std::size_t from = 0) noexcept;
+
 bool starts_with(std::string_view text, std::string_view prefix);
 bool ends_with(std::string_view text, std::string_view suffix);
 

@@ -1,0 +1,2 @@
+// Fixture: grandfathered naked new — absorbed by baseline.txt.
+int* fixture_grandfathered = new int(7);

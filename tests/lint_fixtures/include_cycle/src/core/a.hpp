@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/b.hpp"
+
+namespace fixture {
+inline int a() { return 1; }
+}  // namespace fixture

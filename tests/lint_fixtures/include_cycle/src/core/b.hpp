@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/a.hpp"
+
+namespace fixture {
+inline int b() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fixture {
+inline int frame() { return base(); }
+}  // namespace fixture

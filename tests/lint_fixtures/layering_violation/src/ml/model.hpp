@@ -1,0 +1,12 @@
+#pragma once
+
+// Back-edge: ml (layer 1) reaching up into serve (layer 2).
+#include "serve/api.hpp"
+// Peer-layer include: data sits on ml's own layer.
+#include "data/frame.hpp"
+// Edge into a module the manifest does not declare.
+#include "rogue/thing.hpp"
+
+namespace fixture {
+inline int model() { return api() + frame() + thing(); }
+}  // namespace fixture

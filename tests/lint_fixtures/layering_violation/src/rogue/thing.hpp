@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture {
+inline int thing() { return 3; }
+}  // namespace fixture

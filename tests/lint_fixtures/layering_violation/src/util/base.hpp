@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture {
+inline int base() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: a suppressed R2 — the run over this tree must report nothing
+// for this file.
+
+// mcb-lint: suppress(R2: fixture exercises the one-line suppression scope)
+int* fixture_leak = new int(42);

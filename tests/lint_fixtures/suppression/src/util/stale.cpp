@@ -1,0 +1,5 @@
+// Fixture: this suppression excuses nothing, so the run must report it
+// back as R15.
+
+// mcb-lint: suppress(R7: nothing detaches here and the lint must say so)
+int fixture_clean() { return 0; }

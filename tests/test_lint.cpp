@@ -1,0 +1,331 @@
+// Tests for the mcbound_lint analyzer library (tools/lint/): the
+// lexical front-end, the hot-path pass, rule R8's comment/string
+// separation, suppression parsing, and whole-tree runs over the
+// deliberately-broken trees in tests/lint_fixtures/ (layering
+// violations, an include cycle, suppression and baseline round-trips).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/driver.hpp"
+#include "lint/hot_path.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/source_view.hpp"
+#include "lint/text_rules.hpp"
+
+namespace mcb::lint {
+namespace {
+
+std::size_t count_rule(const std::vector<Violation>& violations, std::string_view rule) {
+  return static_cast<std::size_t>(std::count_if(
+      violations.begin(), violations.end(),
+      [&](const Violation& v) { return v.rule == rule; }));
+}
+
+bool any_message_contains(const std::vector<Violation>& violations, std::string_view rule,
+                          std::string_view needle) {
+  return std::any_of(violations.begin(), violations.end(), [&](const Violation& v) {
+    return v.rule == rule && v.message.find(needle) != std::string::npos;
+  });
+}
+
+LintResult lint_fixture(const std::string& name, const std::string& baseline = "") {
+  LintOptions options;
+  options.root = std::string(MCB_LINT_FIXTURE_DIR) + "/" + name;
+  options.compiler = "";  // fixtures are not self-contained-compile targets
+  options.layers_file = "layers.txt";
+  options.baseline_file = baseline;
+  return run_lint(options);
+}
+
+// ------------------------------------------------------------ tokenizer
+
+TEST(SourceView, ViewsStayByteAligned) {
+  const std::string src = "int x; // c\nauto s = \"str\";\n/* b */ char c = 'q';\n";
+  const SourceView view = scan_source(src);
+  EXPECT_EQ(view.raw.size(), src.size());
+  EXPECT_EQ(view.code.size(), src.size());
+  EXPECT_EQ(view.comments.size(), src.size());
+  EXPECT_EQ(view.raw, src);
+}
+
+TEST(SourceView, StringContentsAreBlankedInCode) {
+  const SourceView view = scan_source("auto s = \"new delete throw\"; int y;");
+  EXPECT_EQ(find_word(view.code, "new", 0), std::string_view::npos);
+  EXPECT_EQ(find_word(view.code, "delete", 0), std::string_view::npos);
+  EXPECT_NE(find_word(view.code, "y", 0), std::string_view::npos);
+}
+
+TEST(SourceView, RawStringLiteralRunsToItsDelimiter) {
+  // The )" inside the raw string must not terminate it; only )x" does.
+  const SourceView view =
+      scan_source("auto s = R\"x(new /* not a comment */ )\" still )x\"; int tail;");
+  EXPECT_EQ(find_word(view.code, "new", 0), std::string_view::npos);
+  EXPECT_EQ(view.comments.find("not a comment"), std::string::npos);
+  EXPECT_NE(find_word(view.code, "tail", 0), std::string_view::npos);
+}
+
+TEST(SourceView, BlockCommentsDoNotNest) {
+  // C++ block comments end at the FIRST */ — the second open marker is
+  // inert, so the trailing code is live again.
+  const SourceView view = scan_source("/* outer /* inner */ int* p = new int;");
+  EXPECT_NE(find_word(view.code, "new", 0), std::string_view::npos);
+  EXPECT_NE(view.comments.find("inner"), std::string::npos);
+}
+
+TEST(SourceView, CharLiteralQuoteDoesNotOpenString) {
+  // '"' must not start a string that swallows the rest of the file.
+  const SourceView view = scan_source("char q = '\"'; int* p = new int; char e = '\\'';");
+  EXPECT_NE(find_word(view.code, "new", 0), std::string_view::npos);
+}
+
+TEST(SourceView, LineCommentKeepsTextInCommentsView) {
+  const SourceView view = scan_source("x.store(1);  // relaxed: stat counter\n");
+  EXPECT_NE(view.comments.find("relaxed: stat counter"), std::string::npos);
+  EXPECT_EQ(find_word(view.code, "relaxed", 0), std::string_view::npos);
+}
+
+TEST(LineIndex, PositionToLine) {
+  const std::string text = "one\ntwo\nthree\n";
+  LineIndex lines(text);
+  EXPECT_EQ(lines.line_of(0), 1u);
+  EXPECT_EQ(lines.line_of(4), 2u);
+  EXPECT_EQ(lines.line_of(8), 3u);
+  EXPECT_EQ(lines.line(text, 2), "two");
+}
+
+// --------------------------------------------------------- R8 regression
+
+TEST(TextRules, RelaxedJustifiedByAdjacentComment) {
+  FileContext ctx("src/x/a.cpp",
+                  scan_source("// relaxed: stat counter\n"
+                              "hits.fetch_add(1, std::memory_order_relaxed);\n"));
+  std::vector<Violation> out;
+  check_relaxed_order_justified(ctx, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TextRules, RelaxedStringLiteralIsNotAJustification) {
+  // Pre-rewrite weakness: a string literal containing `relaxed:` on a
+  // nearby line satisfied the justification scan. The justification must
+  // now live in a comment.
+  FileContext ctx("src/x/a.cpp",
+                  scan_source("log(\"relaxed: not a justification\");\n"
+                              "hits.fetch_add(1, std::memory_order_relaxed);\n"));
+  std::vector<Violation> out;
+  check_relaxed_order_justified(ctx, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "R8");
+  EXPECT_EQ(out[0].line, 2u);
+}
+
+TEST(TextRules, RelaxedInStringIsNotAnAtomicOp) {
+  FileContext ctx("src/x/a.cpp",
+                  scan_source("log(\"uses std::memory_order_relaxed internally\");\n"));
+  std::vector<Violation> out;
+  check_relaxed_order_justified(ctx, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------------------- hot paths
+
+TEST(HotPath, AllocationThrowAndLockAreFlagged) {
+  FileContext ctx("src/x/hot.cpp",
+                  scan_source("MCB_HOT_PATH void f(int n) {\n"
+                              "  auto* p = new int(n);\n"
+                              "  if (n < 0) throw n;\n"
+                              "  std::lock_guard<std::mutex> g(m);\n"
+                              "  (void)p;\n"
+                              "}\n"));
+  std::vector<Violation> out;
+  EXPECT_EQ(check_hot_paths(ctx, out), 1u);
+  EXPECT_EQ(count_rule(out, "R10"), 1u);
+  EXPECT_EQ(count_rule(out, "R11"), 1u);
+  EXPECT_EQ(count_rule(out, "R12"), 1u);
+}
+
+TEST(HotPath, MemberGrowthCallsFlaggedBareWordsNot) {
+  FileContext ctx("src/x/hot.cpp",
+                  scan_source("MCB_HOT_PATH void f(std::vector<int>& v, int x) {\n"
+                              "  v.push_back(x);\n"
+                              "  push_back(x);\n"  // free function: not container growth
+                              "}\n"));
+  std::vector<Violation> out;
+  check_hot_paths(ctx, out);
+  EXPECT_EQ(count_rule(out, "R10"), 1u);
+}
+
+TEST(HotPath, UnannotatedFunctionIsNotChecked) {
+  FileContext ctx("src/x/cold.cpp",
+                  scan_source("void f() { auto* p = new int(1); (void)p; }\n"));
+  std::vector<Violation> out;
+  EXPECT_EQ(check_hot_paths(ctx, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HotPath, CtorInitListBracesDoNotEndTheSearch) {
+  FileContext ctx("src/x/hot.cpp",
+                  scan_source("MCB_HOT_PATH Thing::Thing(int v) noexcept\n"
+                              "    : member_{v}, other_(v) {\n"
+                              "  auto* p = new int(v);\n"
+                              "  (void)p;\n"
+                              "}\n"));
+  std::vector<Violation> out;
+  EXPECT_EQ(check_hot_paths(ctx, out), 1u);
+  EXPECT_EQ(count_rule(out, "R10"), 1u);
+}
+
+TEST(HotPath, MarkerOnDeclarationIsR16) {
+  FileContext ctx("src/x/hot.hpp", scan_source("MCB_HOT_PATH void f(int n);\n"));
+  std::vector<Violation> out;
+  EXPECT_EQ(check_hot_paths(ctx, out), 0u);
+  ASSERT_EQ(count_rule(out, "R16"), 1u);
+}
+
+TEST(HotPath, SignatureSuppressionWidensToWholeBody) {
+  FileContext ctx("src/x/hot.cpp",
+                  scan_source("MCB_HOT_PATH\n"
+                              "// mcb-lint: suppress(R10: warm scratch fixture)\n"
+                              "void f(std::vector<int>& v) {\n"
+                              "  int pad = 0;\n"
+                              "  (void)pad;\n"
+                              "  v.push_back(1);\n"
+                              "}\n"));
+  std::vector<Violation> out;
+  check_hot_paths(ctx, out);
+  ASSERT_EQ(ctx.suppressions.size(), 1u);
+  const Suppression& s = ctx.suppressions[0];
+  EXPECT_EQ(s.scope_begin, 1u);
+  EXPECT_EQ(s.scope_end, 7u);  // closing brace's line
+  // The R10 finding (line 6) falls inside the widened scope.
+  ASSERT_EQ(count_rule(out, "R10"), 1u);
+  EXPECT_GE(out[0].line, s.scope_begin);
+  EXPECT_LE(out[0].line, s.scope_end);
+}
+
+// ----------------------------------------------------------- suppression
+
+TEST(Suppression, ParsesRuleAndReason) {
+  const SourceView view =
+      scan_source("int x;  // mcb-lint: suppress(R2: fixture reason here)\n");
+  const std::vector<Suppression> parsed = parse_suppressions(view);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_FALSE(parsed[0].malformed);
+  EXPECT_EQ(parsed[0].rule, "R2");
+  EXPECT_EQ(parsed[0].reason, "fixture reason here");
+  EXPECT_EQ(parsed[0].line, 1u);
+}
+
+TEST(Suppression, MissingReasonOrUnknownRuleIsMalformed) {
+  for (const char* text : {"// mcb-lint: suppress(R2:)\n",
+                           "// mcb-lint: suppress(R99: unknown rule)\n",
+                           "// mcb-lint: suppress(R2)\n",
+                           "// mcb-lint: sup-press(R2: typo verb)\n"}) {
+    const std::vector<Suppression> parsed = parse_suppressions(scan_source(text));
+    ASSERT_EQ(parsed.size(), 1u) << text;
+    EXPECT_TRUE(parsed[0].malformed) << text;
+  }
+}
+
+TEST(Suppression, QuotedSuppressionTextInCodeIsInert) {
+  const SourceView view =
+      scan_source("auto s = \"// mcb-lint: suppress(R2: inside a string)\";\n");
+  EXPECT_TRUE(parse_suppressions(view).empty());
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(Baseline, ParsesEntriesAndMatches) {
+  const std::vector<BaselineEntry> entries =
+      parse_baseline("# comment\nsrc/a.cpp|R2|*\nsrc/b.cpp|R9|stream\nbroken line\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_FALSE(entries[0].malformed);
+  EXPECT_TRUE(baseline_matches(entries[0], {"src/a.cpp", 3, "R2", "anything"}));
+  EXPECT_FALSE(baseline_matches(entries[0], {"src/a.cpp", 3, "R9", "anything"}));
+  EXPECT_TRUE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "direct stream write"}));
+  EXPECT_FALSE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "no match"}));
+  EXPECT_TRUE(entries[2].malformed);
+}
+
+// ----------------------------------------------------------- module graph
+
+TEST(ModuleGraph, DotRenderIsSortedAndDeterministic) {
+  ModuleGraph graph;
+  graph.add_edge("serve", "util", {"src/serve/a.cpp", 1, "util/x.hpp"});
+  graph.add_edge("core", "util", {"src/core/b.cpp", 2, "util/x.hpp"});
+  graph.add_edge("core", "ml", {"src/core/b.cpp", 3, "ml/y.hpp"});
+  const std::string dot = graph.to_dot();
+  const std::size_t core_ml = dot.find("\"core\" -> \"ml\"");
+  const std::size_t core_util = dot.find("\"core\" -> \"util\"");
+  const std::size_t serve_util = dot.find("\"serve\" -> \"util\"");
+  ASSERT_NE(core_ml, std::string::npos);
+  ASSERT_NE(core_util, std::string::npos);
+  ASSERT_NE(serve_util, std::string::npos);
+  EXPECT_LT(core_ml, core_util);
+  EXPECT_LT(core_util, serve_util);
+}
+
+// --------------------------------------------------------- fixture trees
+
+TEST(Fixtures, LayeringViolationsReported) {
+  const LintResult result = lint_fixture("layering_violation");
+  ASSERT_FALSE(result.config_error) << result.config_message;
+  EXPECT_TRUE(any_message_contains(result.violations, "R13", "back-edge"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R13", "peer-layer"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R13", "`rogue`"));
+  EXPECT_EQ(count_rule(result.violations, "R13"), 3u);
+  // The offending include is named so the finding is actionable.
+  EXPECT_TRUE(any_message_contains(result.violations, "R13", "serve/api.hpp"));
+}
+
+TEST(Fixtures, IncludeCycleReportedWithChain) {
+  const LintResult result = lint_fixture("include_cycle");
+  ASSERT_FALSE(result.config_error) << result.config_message;
+  ASSERT_GE(count_rule(result.violations, "R14"), 1u);
+  EXPECT_TRUE(any_message_contains(result.violations, "R14", "src/core/a.hpp"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R14", "src/core/b.hpp"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R14", "->"));
+}
+
+TEST(Fixtures, SuppressionRoundTrip) {
+  const LintResult result = lint_fixture("suppression");
+  ASSERT_FALSE(result.config_error) << result.config_message;
+  // ok.cpp's naked new is excused; stale.cpp's unused suppression is the
+  // one and only finding.
+  EXPECT_EQ(count_rule(result.violations, "R2"), 0u);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].rule, "R15");
+  EXPECT_EQ(result.violations[0].file, "src/util/stale.cpp");
+  EXPECT_NE(result.violations[0].message.find("unused"), std::string::npos);
+  EXPECT_EQ(result.stats.suppressions_used, 1u);
+}
+
+TEST(Fixtures, BaselineAbsorbsAndStaleEntriesSurface) {
+  const LintResult result = lint_fixture("baselined", "baseline.txt");
+  ASSERT_FALSE(result.config_error) << result.config_message;
+  EXPECT_EQ(count_rule(result.violations, "R2"), 0u);  // grandfathered
+  ASSERT_EQ(count_rule(result.violations, "R15"), 1u);
+  EXPECT_TRUE(any_message_contains(result.violations, "R15", "stale baseline entry"));
+  EXPECT_EQ(result.stats.baselined, 1u);
+
+  // Without the baseline the naked new comes back.
+  const LintResult bare = lint_fixture("baselined");
+  EXPECT_EQ(count_rule(bare.violations, "R2"), 1u);
+}
+
+TEST(Fixtures, MissingManifestIsAConfigError) {
+  LintOptions options;
+  options.root = std::string(MCB_LINT_FIXTURE_DIR) + "/suppression";
+  options.compiler = "";
+  options.layers_file = "no_such_layers.txt";
+  options.baseline_file = "";
+  const LintResult result = run_lint(options);
+  EXPECT_TRUE(result.config_error);
+  EXPECT_NE(result.config_message.find("no_such_layers.txt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcb::lint

@@ -273,6 +273,21 @@ TEST(Strings, Trim) {
 
 TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
 
+TEST(Strings, IfindCaseInsensitive) {
+  EXPECT_EQ(ifind("Content-Length: 12", "content-length:"), 0u);
+  EXPECT_EQ(ifind("X: 1\r\nCONTENT-LENGTH: 9", "content-length:"), 6u);
+  EXPECT_EQ(ifind("content-type: text", "content-length:"), std::string_view::npos);
+}
+
+TEST(Strings, IfindFromOffsetAndEdgeCases) {
+  EXPECT_EQ(ifind("abcabc", "abc", 1), 3u);
+  EXPECT_EQ(ifind("abcabc", "abc", 4), std::string_view::npos);
+  EXPECT_EQ(ifind("short", "longer needle"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("abc", "", 3), 3u);
+  EXPECT_EQ(ifind("abc", "", 4), std::string_view::npos);
+}
+
 TEST(Strings, StartsEndsWith) {
   EXPECT_TRUE(starts_with("foobar", "foo"));
   EXPECT_FALSE(starts_with("fo", "foo"));

@@ -1,0 +1,137 @@
+#include "lint/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace mcb::lint {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"R1", "no wall-clock or libc randomness in library code"},
+      {"R2", "no naked new/delete"},
+      {"R3", "no catch-all that swallows the exception"},
+      {"R4", "every public header is self-contained"},
+      {"R5", "every header uses #pragma once"},
+      {"R6", "no raw std synchronization primitives outside util/sync"},
+      {"R7", "no std::thread::detach()"},
+      {"R8", "memory_order_relaxed carries an adjacent justification comment"},
+      {"R9", "no direct stdout/stderr writes outside src/obs and util/cli"},
+      {"R10", "no heap allocation inside MCB_HOT_PATH bodies"},
+      {"R11", "no throw or blocking call inside MCB_HOT_PATH bodies"},
+      {"R12", "no lock acquisition inside MCB_HOT_PATH bodies"},
+      {"R13", "module includes respect the layering manifest (layers.txt)"},
+      {"R14", "no include cycles under src/"},
+      {"R15", "suppressions and baseline entries must be well-formed and used"},
+      {"R16", "MCB_HOT_PATH annotates definitions, not declarations"},
+  };
+  return kCatalog;
+}
+
+bool known_rule(std::string_view rule) {
+  const auto& catalog = rule_catalog();
+  return std::any_of(catalog.begin(), catalog.end(),
+                     [&](const RuleInfo& info) { return info.id == rule; });
+}
+
+std::vector<Suppression> parse_suppressions(const SourceView& view) {
+  static constexpr std::string_view kMarker = "mcb-lint:";
+  static constexpr std::string_view kVerb = "suppress";
+  std::vector<Suppression> out;
+  const std::string_view comments = view.comments;
+  LineIndex lines(view.raw);
+  for (std::size_t pos = comments.find(kMarker); pos != std::string_view::npos;
+       pos = comments.find(kMarker, pos + kMarker.size())) {
+    Suppression s;
+    s.line = lines.line_of(pos);
+    std::size_t i = next_nonspace(comments, pos + kMarker.size());
+    const auto malformed = [&]() {
+      s.malformed = true;
+      out.push_back(s);
+    };
+    if (i == std::string_view::npos ||
+        comments.compare(i, kVerb.size(), kVerb) != 0) {
+      malformed();
+      continue;
+    }
+    i = next_nonspace(comments, i + kVerb.size());
+    if (i == std::string_view::npos || comments[i] != '(') {
+      malformed();
+      continue;
+    }
+    const std::size_t eol = comments.find('\n', pos);
+    const std::size_t colon = comments.find(':', i);
+    const std::size_t close = comments.find(')', i);
+    // The reason must be present and the whole form must close on the
+    // comment's own line; a bare `suppress(R10)` is malformed.
+    if (colon == std::string_view::npos || close == std::string_view::npos ||
+        colon > close || close > eol) {
+      malformed();
+      continue;
+    }
+    std::string rule(comments.substr(i + 1, colon - i - 1));
+    std::erase_if(rule, [](char c) { return c == ' ' || c == '\t'; });
+    std::string reason(comments.substr(colon + 1, close - colon - 1));
+    while (!reason.empty() && (reason.front() == ' ' || reason.front() == '\t')) {
+      reason.erase(reason.begin());
+    }
+    while (!reason.empty() && (reason.back() == ' ' || reason.back() == '\t')) {
+      reason.pop_back();
+    }
+    if (!known_rule(rule) || reason.empty()) {
+      malformed();
+      continue;
+    }
+    s.rule = std::move(rule);
+    s.reason = std::move(reason);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text) {
+  std::vector<BaselineEntry> out;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    if (nl == std::string_view::npos && line.empty()) break;
+    start = end + 1;
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    BaselineEntry entry;
+    entry.line = line_no;
+    const std::size_t bar1 = line.find('|');
+    const std::size_t bar2 =
+        bar1 == std::string_view::npos ? std::string_view::npos : line.find('|', bar1 + 1);
+    if (bar2 == std::string_view::npos) {
+      entry.malformed = true;
+      out.push_back(std::move(entry));
+      continue;
+    }
+    entry.file.assign(line.substr(0, bar1));
+    entry.rule.assign(line.substr(bar1 + 1, bar2 - bar1 - 1));
+    entry.pattern.assign(line.substr(bar2 + 1));
+    if (entry.file.empty() || !known_rule(entry.rule) || entry.pattern.empty()) {
+      entry.malformed = true;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+bool baseline_matches(const BaselineEntry& entry, const Violation& v) {
+  if (entry.malformed) return false;
+  if (entry.file != v.file || entry.rule != v.rule) return false;
+  return entry.pattern == "*" || v.message.find(entry.pattern) != std::string::npos;
+}
+
+}  // namespace mcb::lint

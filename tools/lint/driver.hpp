@@ -1,0 +1,48 @@
+// Orchestration of the mcbound_lint passes (DESIGN.md §12): walk the
+// tree, run per-file rules, build the include graph, enforce the layer
+// manifest, then resolve inline suppressions and the committed baseline
+// into the final violation list. Exposed as a library (mcb_lint_core)
+// so tests/test_lint.cpp drives the same code paths CI does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/include_graph.hpp"
+
+namespace mcb::lint {
+
+struct LintOptions {
+  std::string root;       ///< repo root (contains src/)
+  std::string compiler;   ///< empty = skip the R4 header compile check
+  std::string std_flag = "c++20";
+  /// Relative to root when not absolute; empty string disables the
+  /// corresponding pass (no layering check / no baseline).
+  std::string layers_file = "tools/lint/layers.txt";
+  std::string baseline_file = "tools/lint/baseline.txt";
+  bool verbose = false;
+};
+
+struct LintStats {
+  std::size_t files_scanned = 0;
+  std::size_t headers_compiled = 0;
+  std::size_t hot_regions = 0;
+  std::size_t suppressions_used = 0;
+  std::size_t baselined = 0;
+  std::size_t modules = 0;
+  std::size_t module_edges = 0;
+};
+
+struct LintResult {
+  bool config_error = false;     ///< bad root / unparseable manifest
+  std::string config_message;
+  std::vector<Violation> violations;  ///< post-suppression, post-baseline
+  ModuleGraph graph;
+  LintStats stats;
+};
+
+LintResult run_lint(const LintOptions& options);
+
+}  // namespace mcb::lint

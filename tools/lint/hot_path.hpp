@@ -1,0 +1,45 @@
+// Hot-path discipline pass (DESIGN.md §12, rules R10–R12).
+//
+// A function definition prefixed with the MCB_HOT_PATH marker
+// (src/util/annotations.hpp) declares that its body is on the serving
+// or inference fast path and must stay allocation-free (R10),
+// non-throwing and non-blocking (R11), and lock-free (R12). The pass
+// finds each marker in the code view, brace-matches the function body
+// (parameter list → optional qualifiers / ctor-init list → `{`), and
+// runs token scans over the extracted region. The checks are lexical
+// and intraprocedural: a callee that allocates is not seen here — the
+// point is to freeze the *direct* shape of the hot loops so a refactor
+// cannot slip a malloc or a mutex into them unnoticed.
+//
+// A marker followed by `;` before any `{` annotates a declaration the
+// pass cannot check; that is reported as R16 so an annotation can never
+// silently stop guarding anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace mcb::lint {
+
+struct HotRegion {
+  std::string function;     ///< best-effort display name
+  std::size_t anno_pos = 0; ///< byte offset of the MCB_HOT_PATH token
+  std::size_t body_begin = 0;  ///< offset of the opening '{'
+  std::size_t body_end = 0;    ///< offset of the matching '}'
+};
+
+/// Locate every MCB_HOT_PATH-annotated function *definition* in the
+/// file; markers on declarations or with unparseable bodies emit R16.
+/// Markers on preprocessor lines (the #define itself) are ignored.
+std::vector<HotRegion> find_hot_regions(const FileContext& ctx,
+                                        std::vector<Violation>& out);
+
+/// Run R10/R11/R12 over every hot region and widen any suppression
+/// written on the annotated signature (between the marker and the
+/// opening brace) to cover the whole body. Returns the region count.
+std::size_t check_hot_paths(FileContext& ctx, std::vector<Violation>& out);
+
+}  // namespace mcb::lint

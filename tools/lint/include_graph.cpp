@@ -1,0 +1,203 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcb::lint {
+
+std::vector<IncludeSite> scan_includes(const FileContext& ctx) {
+  std::vector<IncludeSite> out;
+  const std::string_view code = ctx.view.code;
+  for (std::size_t pos = code.find("#include", 0); pos != std::string_view::npos;
+       pos = code.find("#include", pos + 8)) {
+    // Must be the first token on its line (preprocessor directive).
+    std::size_t bol = pos;
+    while (bol > 0 && code[bol - 1] != '\n') --bol;
+    if (next_nonspace(code.substr(bol, pos - bol), 0) != std::string_view::npos) continue;
+    const std::size_t open = next_nonspace(code, pos + 8);
+    if (open == std::string_view::npos || code[open] != '"') continue;
+    const std::size_t close = code.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    // The code view blanks string-literal contents; the views are
+    // byte-aligned, so slice the include target out of the raw text.
+    out.push_back({ctx.rel_path, ctx.lines.line_of(pos),
+                   std::string(ctx.view.raw.substr(open + 1, close - open - 1))});
+  }
+  return out;
+}
+
+bool parse_layer_manifest(std::string_view text, LayerManifest& out, std::string& error) {
+  out = LayerManifest{};
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    if (nl == std::string_view::npos && line.empty()) break;
+    start = end + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::istringstream tokens{std::string(line)};
+    std::string word;
+    if (!(tokens >> word)) continue;  // blank / comment-only line
+    if (word != "layer") {
+      error = "layers.txt:" + std::to_string(line_no) +
+              ": expected `layer <module>...`, got `" + word + "`";
+      return false;
+    }
+    std::vector<std::string> modules;
+    while (tokens >> word) {
+      if (out.contains(word)) {
+        error = "layers.txt:" + std::to_string(line_no) + ": module `" + word +
+                "` declared twice";
+        return false;
+      }
+      out.layer_of[word] = out.layers.size();
+      modules.push_back(word);
+    }
+    if (modules.empty()) {
+      error = "layers.txt:" + std::to_string(line_no) + ": empty layer";
+      return false;
+    }
+    out.layers.push_back(std::move(modules));
+  }
+  if (out.layers.empty()) {
+    error = "layers.txt declares no layers";
+    return false;
+  }
+  return true;
+}
+
+void ModuleGraph::add_edge(const std::string& from_module, const std::string& to_module,
+                           const IncludeSite& site) {
+  modules_.insert(from_module);
+  modules_.insert(to_module);
+  edges_[from_module][to_module].push_back(site);
+}
+
+std::size_t ModuleGraph::cross_edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [from, targets] : edges_) {
+    for (const auto& [to, sites] : targets) {
+      if (from != to) ++n;
+    }
+  }
+  return n;
+}
+
+std::string ModuleGraph::to_dot() const {
+  // std::map keeps both levels sorted, so the render is deterministic
+  // and diff-able (the CI drift gate depends on that).
+  std::string dot;
+  dot += "// Module dependency graph under src/ — emitted by\n";
+  dot += "//   mcbound_lint --root . --graph=dot\n";
+  dot += "// and checked against tools/lint/layers.txt (DESIGN.md §12).\n";
+  dot += "digraph mcbound_modules {\n";
+  dot += "  rankdir=BT;\n";
+  for (const auto& [from, targets] : edges_) {
+    for (const auto& [to, sites] : targets) {
+      if (from == to) continue;
+      dot += "  \"" + from + "\" -> \"" + to + "\";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+void check_layering(const ModuleGraph& graph, const LayerManifest& manifest,
+                    std::vector<Violation>& out) {
+  std::set<std::string> reported_unknown;
+  for (const auto& [from, targets] : graph.edges()) {
+    for (const auto& [to, sites] : targets) {
+      if (from == to) continue;
+      if (sites.empty()) continue;
+      const IncludeSite& first = sites.front();
+      if (!manifest.contains(from) || !manifest.contains(to)) {
+        const std::string& missing = !manifest.contains(from) ? from : to;
+        if (reported_unknown.insert(missing).second) {
+          out.push_back({first.file, first.line, "R13",
+                         "module `" + missing +
+                             "` is not declared in layers.txt — add it to the "
+                             "layer manifest before depending on it"});
+        }
+        continue;
+      }
+      const std::size_t from_layer = manifest.layer_of.at(from);
+      const std::size_t to_layer = manifest.layer_of.at(to);
+      if (to_layer < from_layer) continue;  // strictly lower: allowed
+      const char* kind = to_layer == from_layer ? "peer-layer" : "back-edge";
+      for (const IncludeSite& site : sites) {
+        out.push_back(
+            {site.file, site.line, "R13",
+             std::string(kind) + " include: `" + from + "` (layer " +
+                 std::to_string(from_layer) + ") -> `" + to + "` (layer " +
+                 std::to_string(to_layer) + ") via `#include \"" + site.target +
+                 "\"` — layers.txt permits only strictly lower layers"});
+      }
+    }
+  }
+}
+
+namespace {
+
+// Iterative three-colour DFS; a grey→grey edge closes a cycle and the
+// explicit stack holds the offending include chain.
+struct DfsFrame {
+  std::string node;
+  std::size_t next_edge = 0;
+};
+
+}  // namespace
+
+void check_include_cycles(
+    const std::map<std::string, std::vector<IncludeSite>>& file_graph,
+    std::vector<Violation>& out) {
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<std::string, Colour> colour;
+  for (const auto& [node, edges] : file_graph) colour[node] = Colour::kWhite;
+
+  for (const auto& [root, root_edges] : file_graph) {
+    if (colour[root] != Colour::kWhite) continue;
+    std::vector<DfsFrame> stack;
+    stack.push_back({root, 0});
+    colour[root] = Colour::kGrey;
+    while (!stack.empty()) {
+      DfsFrame& frame = stack.back();
+      static const std::vector<IncludeSite> kNoEdges;
+      const auto it = file_graph.find(frame.node);
+      const std::vector<IncludeSite>& edges = it != file_graph.end() ? it->second : kNoEdges;
+      if (frame.next_edge >= edges.size()) {
+        colour[frame.node] = Colour::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const IncludeSite& site = edges[frame.next_edge++];
+      const std::string& to = site.target;
+      const auto colour_it = colour.find(to);
+      if (colour_it == colour.end()) continue;  // include outside src/
+      if (colour_it->second == Colour::kGrey) {
+        // Render the chain from the first occurrence of `to` on the
+        // stack down to the closing edge.
+        std::string chain;
+        bool in_cycle = false;
+        for (const DfsFrame& f : stack) {
+          if (f.node == to) in_cycle = true;
+          if (in_cycle) chain += f.node + " -> ";
+        }
+        chain += to;
+        out.push_back({site.file, site.line, "R14",
+                       "include cycle: " + chain +
+                           " — break the cycle with a forward declaration or an "
+                           "interface header"});
+        continue;
+      }
+      if (colour_it->second == Colour::kBlack) continue;
+      colour[to] = Colour::kGrey;
+      stack.push_back({to, 0});
+    }
+  }
+}
+
+}  // namespace mcb::lint

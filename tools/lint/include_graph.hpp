@@ -1,0 +1,91 @@
+// Include-graph pass of mcbound_lint (DESIGN.md §12).
+//
+// Every quoted `#include "module/header.hpp"` under src/ is an edge in
+// two graphs:
+//
+//  * the file graph (header/source → header), used to detect include
+//    cycles (R14) — #pragma once hides a cycle from the compiler but
+//    the first file in it still sees incomplete declarations;
+//  * the module graph (first path component → first path component),
+//    checked against the declared layering manifest tools/lint/layers.txt
+//    (R13): a module may include only modules in strictly lower layers
+//    (and itself). Peers within one layer are mutually independent by
+//    declaration, so a back-edge or a peer edge both fail.
+//
+// `to_dot()` renders the module graph for docs/module_graph.dot; CI
+// diffs the committed render against a fresh emission so the documented
+// architecture cannot drift silently.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace mcb::lint {
+
+struct IncludeSite {
+  std::string file;    ///< including file, relative to root
+  std::size_t line = 0;
+  std::string target;  ///< included path as written, e.g. "ml/knn.hpp"
+};
+
+/// Quoted includes in the file's code view (commented-out includes are
+/// invisible by construction).
+std::vector<IncludeSite> scan_includes(const FileContext& ctx);
+
+// ---------------------------------------------------------------------
+struct LayerManifest {
+  /// layers[i] = modules declared on manifest line i (layer 0 lowest).
+  std::vector<std::vector<std::string>> layers;
+  std::map<std::string, std::size_t> layer_of;
+
+  bool contains(const std::string& module) const {
+    return layer_of.find(module) != layer_of.end();
+  }
+};
+
+/// Parse the manifest ("layer <module>..." lines, lowest first; '#'
+/// comments). Returns false and sets `error` on a syntax error or a
+/// module declared twice.
+bool parse_layer_manifest(std::string_view text, LayerManifest& out, std::string& error);
+
+// ---------------------------------------------------------------------
+class ModuleGraph {
+ public:
+  /// Record one file-level include; `from_module`/`to_module` are the
+  /// first path components. Self-edges are kept (harmless, not drawn).
+  void add_edge(const std::string& from_module, const std::string& to_module,
+                const IncludeSite& site);
+
+  /// Deterministic DOT render of the cross-module edge set.
+  std::string to_dot() const;
+
+  const std::map<std::string, std::map<std::string, std::vector<IncludeSite>>>& edges()
+      const {
+    return edges_;
+  }
+  std::size_t module_count() const { return modules_.size(); }
+  std::size_t cross_edge_count() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::vector<IncludeSite>>> edges_;
+  std::set<std::string> modules_;
+};
+
+/// R13: every cross-module edge must point to a strictly lower layer;
+/// modules absent from the manifest are reported once.
+void check_layering(const ModuleGraph& graph, const LayerManifest& manifest,
+                    std::vector<Violation>& out);
+
+/// R14: DFS over the file graph; each back-edge is reported once with
+/// the full include chain that closes the cycle.
+void check_include_cycles(
+    const std::map<std::string, std::vector<IncludeSite>>& file_graph,
+    std::vector<Violation>& out);
+
+}  // namespace mcb::lint

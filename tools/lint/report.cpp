@@ -1,0 +1,82 @@
+#include "lint/report.hpp"
+
+#include <cstdio>
+
+namespace mcb::lint {
+
+void print_text(std::ostream& out, const std::vector<Violation>& violations) {
+  for (const Violation& v : violations) {
+    out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+  }
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_sarif(std::ostream& out, const std::vector<Violation>& violations) {
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"mcbound_lint\",\n"
+      << "          \"informationUri\": \"DESIGN.md\",\n"
+      << "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\"id\": \"" << catalog[i].id
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].summary) << "\"}}"
+        << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << v.rule << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(v.message) << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \"" << json_escape(v.file)
+        << "\"},\n"
+        << "                \"region\": {\"startLine\": " << (v.line == 0 ? 1 : v.line)
+        << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace mcb::lint

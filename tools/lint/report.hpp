@@ -1,0 +1,24 @@
+// Output back-ends of mcbound_lint (DESIGN.md §12).
+//
+//   text   one `<file>:<line>: [R<n>] <message>` per line, the format
+//          editors and CI logs have consumed since PR 2;
+//   sarif  SARIF 2.1.0 with the full rule catalog, consumed by GitHub
+//          code scanning (the lint-sarif CI job uploads it so findings
+//          annotate the offending PR lines).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace mcb::lint {
+
+void print_text(std::ostream& out, const std::vector<Violation>& violations);
+
+void print_sarif(std::ostream& out, const std::vector<Violation>& violations);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view text);
+
+}  // namespace mcb::lint

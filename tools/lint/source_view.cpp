@@ -1,0 +1,173 @@
+#include "lint/source_view.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mcb::lint {
+
+namespace {
+
+enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+
+}  // namespace
+
+SourceView scan_source(std::string_view src) {
+  SourceView view;
+  view.raw.assign(src);
+  view.code.assign(src);
+  // Comments view starts blank (newlines kept) and gets comment bytes
+  // copied back in as the machine visits them.
+  view.comments.assign(src.size(), ' ');
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') view.comments[i] = '\n';
+  }
+
+  State state = State::kCode;
+  std::string raw_terminator;  // ")tag\"" for the active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          view.code[i] = ' ';
+          view.comments[i] = c;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          view.code[i] = ' ';
+          view.comments[i] = c;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(src[i - 1]))) {
+          const std::size_t paren = src.find('(', i + 2);
+          if (paren != std::string_view::npos) {
+            raw_terminator = ")";
+            raw_terminator += src.substr(i + 2, paren - (i + 2));
+            raw_terminator += '"';
+            state = State::kRawString;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          view.code[i] = ' ';
+          view.comments[i] = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          view.code[i] = ' ';
+          view.code[i + 1] = ' ';
+          view.comments[i] = '*';
+          view.comments[i + 1] = '/';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          view.code[i] = ' ';
+          view.comments[i] = c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          view.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            view.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          view.code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          view.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            view.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          view.code[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          view.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return view;
+}
+
+LineIndex::LineIndex(std::string_view text) : size_(text.size()) {
+  starts_.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n' && i + 1 <= text.size()) starts_.push_back(i + 1);
+  }
+}
+
+std::size_t LineIndex::line_of(std::size_t pos) const {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  return static_cast<std::size_t>(it - starts_.begin());
+}
+
+std::string_view LineIndex::line(std::string_view text, std::size_t line_no) const {
+  if (line_no == 0 || line_no > starts_.size()) return {};
+  const std::size_t begin = starts_[line_no - 1];
+  const std::size_t end =
+      line_no < starts_.size() ? starts_[line_no] - 1 : std::min(size_, text.size());
+  if (begin > text.size()) return {};
+  return text.substr(begin, std::min(end, text.size()) - begin);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t find_word(std::string_view text, std::string_view word, std::size_t from) {
+  while (true) {
+    const std::size_t pos = text.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+char prev_nonspace(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return text[pos];
+  }
+  return '\0';
+}
+
+std::size_t next_nonspace(std::string_view text, std::size_t pos) {
+  while (pos < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return pos;
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+bool call_like(std::string_view text, std::size_t pos, std::size_t word_len) {
+  const std::size_t after = next_nonspace(text, pos + word_len);
+  return after != std::string_view::npos && text[after] == '(';
+}
+
+}  // namespace mcb::lint

@@ -1,0 +1,74 @@
+// Lexical front-end of mcbound_lint (DESIGN.md §12).
+//
+// The analyzer never parses C++ properly; every rule runs over one of
+// three byte-aligned *views* of a translation unit:
+//
+//   raw       the file exactly as read
+//   code      comments and string/char-literal contents blanked to
+//             spaces (newlines kept), so token scans cannot be fooled
+//             by quoted or commented text
+//   comments  only comment text kept (including the // and /* */
+//             delimiters), everything else blanked
+//
+// Byte i means the same source position in all three views, so a rule
+// can find a construct in `code` and look for its justification comment
+// in `comments` at the same lines (rule R8), and suppression comments
+// are parsed from `comments` so a string literal can never suppress a
+// finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcb::lint {
+
+struct SourceView {
+  std::string raw;
+  std::string code;
+  std::string comments;
+};
+
+/// One pass over the token-level state machine (//, /* */, "...",
+/// '...', R"tag(...)tag"); never fails — unterminated constructs simply
+/// run to end of file in their current state.
+SourceView scan_source(std::string_view src);
+
+/// Precomputed newline offsets for O(log n) position→line queries and
+/// per-line slicing. Lines are 1-based; the view outlives the index.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text);
+
+  std::size_t line_of(std::size_t pos) const;
+  std::size_t line_count() const { return starts_.size(); }
+
+  /// The 1-based line's text without its trailing newline. Because all
+  /// SourceView views share byte offsets, a LineIndex built over one
+  /// view slices any of them.
+  std::string_view line(std::string_view text, std::size_t line_no) const;
+
+ private:
+  std::vector<std::size_t> starts_;  ///< offset of each line start
+  std::size_t size_ = 0;
+};
+
+bool is_ident_char(char c);
+
+/// Next whole-word occurrence of `word` at/after `from`; neighbours
+/// that continue an identifier reject the match (so `detach` does not
+/// match `detached_`). npos when absent.
+std::size_t find_word(std::string_view text, std::string_view word, std::size_t from);
+
+/// Last non-whitespace character strictly before `pos` ('\0' if none).
+char prev_nonspace(std::string_view text, std::size_t pos);
+
+/// First non-whitespace position at/after `pos` (npos if none).
+std::size_t next_nonspace(std::string_view text, std::size_t pos);
+
+/// True when the word occurrence at `pos` is followed (over whitespace)
+/// by an opening parenthesis — i.e. it looks like a call.
+bool call_like(std::string_view text, std::size_t pos, std::size_t word_len);
+
+}  // namespace mcb::lint

@@ -1,542 +1,161 @@
-// mcbound_lint — repo-specific static checks the generic tools can't do.
+// mcbound_lint — the repo's own static analyzer (DESIGN.md §7 & §12).
 //
-// Enforced invariants (see DESIGN.md §7):
-//   R1  no wall-clock or libc randomness in library code (src/): results
-//       must be reproducible from an explicit seed / injected TimePoint.
-//   R2  no naked `new` / `delete` in src/ or tools/ — ownership goes
-//       through containers and smart pointers (`= delete` declarations
-//       and comments are fine).
-//   R3  no `catch (...)` that swallows: every catch-all must rethrow,
-//       capture via std::current_exception, or log before returning.
-//   R4  every public header under src/ is self-contained: `#include`ing
-//       it alone must compile (checked with `$CXX -fsyntax-only`).
-//   R5  every header uses `#pragma once`.
-//   R6  no raw std synchronization primitives (std::mutex, lock_guard,
-//       condition_variable, ...) in src/ outside util/sync.{hpp,cpp}:
-//       all locking goes through the annotated wrappers so Clang's
-//       thread-safety analysis sees every acquisition.
-//   R7  no std::thread::detach() anywhere: detached threads outlive
-//       shutdown and race teardown — join them.
-//   R8  every memory_order_relaxed carries a `// relaxed: <why>` comment
-//       on the same line or one of the two lines above it (checked on
-//       the raw text, since the justification is itself a comment).
-//   R9  no direct stdout/stderr writes (std::cout/cerr/clog, printf,
-//       fprintf, puts, fputs, fputc, perror, ...) in src/ outside
-//       src/obs/ and src/util/cli.cpp: library code logs through
-//       mcb::log so every line is structured, leveled and rate-limited.
+// PR 2 grew a bag of per-file token scans (rules R1–R9); this driver
+// now fronts a small multi-pass analyzer (tools/lint/):
 //
-// Exit status: 0 = clean, 1 = violations printed one per line as
+//   * a lexical front-end producing aligned code/comment views of every
+//     translation unit (tools/lint/source_view);
+//   * token rules R1–R9 over those views (tools/lint/text_rules);
+//   * an include-graph pass that builds the module dependency DAG under
+//     src/ and enforces the declared layer manifest
+//     tools/lint/layers.txt — back-edges and peer edges are R13, include
+//     cycles are R14 (tools/lint/include_graph);
+//   * hot-path discipline R10–R12 over MCB_HOT_PATH-annotated function
+//     bodies: no allocation, no throw/blocking call, no lock
+//     (tools/lint/hot_path);
+//   * a diagnostics layer with inline suppressions (the `mcb-lint`
+//     suppression comments of DESIGN.md §12), a committed baseline of
+//     grandfathered findings (tools/lint/baseline.txt), and hygiene rule
+//     R15 that fails unused suppressions and stale baseline entries;
+//   * text and SARIF reporters — CI uploads the SARIF run to GitHub
+//     code scanning (tools/lint/report).
+//
+// Exit status: 0 = clean, 1 = violations printed, 2 = usage/config
+// error. Text findings print one per line as
 //   <file>:<line>: [R<n>] <message>
 // so editors and CI can jump straight to the offence.
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/diagnostics.hpp"
+#include "lint/driver.hpp"
+#include "lint/report.hpp"
 
 namespace {
 
-struct Options {
-  fs::path root;            // repo root (contains src/, tools/)
-  std::string compiler;     // empty = skip the header compile check (R4)
-  std::string std_flag = "c++20";
-  bool verbose = false;
-};
-
-struct Violation {
-  fs::path file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-std::vector<Violation> g_violations;
-
-void report(const fs::path& file, std::size_t line, std::string rule,
-            std::string message) {
-  g_violations.push_back({file, line, std::move(rule), std::move(message)});
-}
-
-// Replace comments and string/char literals with spaces (newlines kept so
-// line numbers survive). Handles //, /* */, "...", '...', and R"tag(...)tag".
-std::string strip_comments_and_strings(std::string_view src) {
-  std::string out(src);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string raw_terminator;  // )tag" for the active raw string
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (std::isalnum(static_cast<unsigned char>(src[i - 1])) == 0 &&
-                               src[i - 1] != '_'))) {
-          // R"tag( ... )tag"
-          std::size_t paren = src.find('(', i + 2);
-          if (paren != std::string_view::npos) {
-            raw_terminator = ")";
-            raw_terminator += src.substr(i + 2, paren - (i + 2));
-            raw_terminator += '"';
-            state = State::kRawString;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (src.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(std::string_view text, std::size_t pos) {
-  std::size_t line = 1;
-  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
-    if (text[i] == '\n') ++line;
-  }
-  return line;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Find the next whole-word occurrence of `word` at/after `from`. A match
-// is rejected when the preceding or following char continues an
-// identifier; `allow_scoped` keeps matches like `std::word`.
-std::size_t find_word(std::string_view text, std::string_view word,
-                      std::size_t from) {
-  while (true) {
-    const std::size_t pos = text.find(word, from);
-    if (pos == std::string_view::npos) return std::string_view::npos;
-    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-}
-
-char prev_nonspace(std::string_view text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return text[pos];
-  }
-  return '\0';
-}
-
-// ------------------------------------------------------------------- R1
-// Wall-clock / libc randomness in library code.
-void check_no_wallclock_or_libc_rand(const fs::path& file, std::string_view code) {
-  static constexpr std::string_view kBanned[] = {"rand", "srand", "rand_r",
-                                                 "random_shuffle", "clock"};
-  for (const auto word : kBanned) {
-    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
-         pos = find_word(code, word, pos + 1)) {
-      // Must look like a call, not a declaration of our own symbol.
-      std::size_t after = pos + word.size();
-      while (after < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[after])) != 0) {
-        ++after;
-      }
-      if (after >= code.size() || code[after] != '(') continue;
-      report(file, line_of(code, pos), "R1",
-             "libc `" + std::string(word) +
-                 "()` in library code — thread an explicit mcb::Rng / seed instead");
-    }
-  }
-  // `time(...)` — match bare or std:: qualified, not foo_time(...).
-  for (std::size_t pos = find_word(code, "time", 0); pos != std::string_view::npos;
-       pos = find_word(code, "time", pos + 1)) {
-    std::size_t after = pos + 4;
-    if (after >= code.size() || code[after] != '(') continue;
-    const char before = pos > 0 ? code[pos - 1] : '\0';
-    if (before == '.' || before == '>') continue;  // member call like t.time(...)
-    report(file, line_of(code, pos), "R1",
-           "wall-clock `time()` in library code — accept a TimePoint parameter instead");
-  }
-}
-
-// ------------------------------------------------------------------- R2
-void check_no_naked_new_delete(const fs::path& file, std::string_view code) {
-  for (std::size_t pos = find_word(code, "new", 0); pos != std::string_view::npos;
-       pos = find_word(code, "new", pos + 1)) {
-    report(file, line_of(code, pos), "R2",
-           "naked `new` — use containers, std::make_unique or std::make_shared");
-  }
-  for (std::size_t pos = find_word(code, "delete", 0); pos != std::string_view::npos;
-       pos = find_word(code, "delete", pos + 1)) {
-    if (prev_nonspace(code, pos) == '=') continue;  // `= delete;` declaration
-    report(file, line_of(code, pos), "R2",
-           "naked `delete` — ownership must be RAII-managed");
-  }
-}
-
-// ------------------------------------------------------------------- R3
-void check_no_swallowing_catch_all(const fs::path& file, std::string_view code) {
-  for (std::size_t pos = code.find("catch", 0); pos != std::string_view::npos;
-       pos = code.find("catch", pos + 5)) {
-    if (pos > 0 && is_ident_char(code[pos - 1])) continue;
-    // Require `catch (...)` — any other handler names the exception.
-    std::size_t i = pos + 5;
-    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
-    if (i >= code.size() || code[i] != '(') continue;
-    const std::size_t close = code.find(')', i);
-    if (close == std::string_view::npos) continue;
-    std::string inside(code.substr(i + 1, close - i - 1));
-    std::erase_if(inside, [](char c) {
-      return std::isspace(static_cast<unsigned char>(c)) != 0;
-    });
-    if (inside != "...") continue;
-    // Extract the handler block.
-    std::size_t brace = code.find('{', close);
-    if (brace == std::string_view::npos) continue;
-    int depth = 0;
-    std::size_t end = brace;
-    for (; end < code.size(); ++end) {
-      if (code[end] == '{') ++depth;
-      if (code[end] == '}' && --depth == 0) break;
-    }
-    const std::string_view body = code.substr(brace, end - brace);
-    static constexpr std::string_view kEvidence[] = {
-        "throw",  "rethrow",  "current_exception", "log",
-        "cerr",   "fprintf",  "perror",            "abort",
-        "assert", "terminate"};
-    bool handled = false;
-    for (const auto token : kEvidence) {
-      if (find_word(body, token, 0) != std::string_view::npos) {
-        handled = true;
-        break;
-      }
-    }
-    if (!handled) {
-      report(file, line_of(code, pos), "R3",
-             "`catch (...)` swallows the exception — rethrow, capture or log it");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R6
-// util/sync.{hpp,cpp} are the only files allowed to name the std
-// primitives they wrap; everything else locks through mcb::Mutex et al.
-bool is_sync_wrapper_file(const fs::path& p) {
-  const std::string name = p.filename().string();
-  return p.parent_path().filename() == "util" &&
-         (name == "sync.hpp" || name == "sync.cpp");
-}
-
-void check_no_raw_std_sync(const fs::path& file, std::string_view code) {
-  static constexpr std::string_view kBanned[] = {
-      "mutex",       "shared_mutex",       "recursive_mutex",
-      "timed_mutex", "recursive_timed_mutex", "lock_guard",
-      "unique_lock", "scoped_lock",        "shared_lock",
-      "condition_variable", "condition_variable_any"};
-  for (const auto word : kBanned) {
-    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
-         pos = find_word(code, word, pos + 1)) {
-      if (pos < 5 || code.substr(pos - 5, 5) != "std::") continue;
-      report(file, line_of(code, pos), "R6",
-             "raw `std::" + std::string(word) +
-                 "` — lock through the annotated wrappers in util/sync.hpp "
-                 "so the thread-safety analysis sees it");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R7
-void check_no_thread_detach(const fs::path& file, std::string_view code) {
-  for (std::size_t pos = find_word(code, "detach", 0); pos != std::string_view::npos;
-       pos = find_word(code, "detach", pos + 1)) {
-    const char before = prev_nonspace(code, pos);
-    if (before != '.' && before != '>') continue;  // member call only
-    std::size_t after = pos + 6;
-    while (after < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[after])) != 0) {
-      ++after;
-    }
-    if (after >= code.size() || code[after] != '(') continue;
-    report(file, line_of(code, pos), "R7",
-           "`detach()` orphans the thread past shutdown — join it instead");
-  }
-}
-
-// ------------------------------------------------------------------- R8
-// Runs on the RAW file text (before comment stripping): the required
-// justification is a comment.
-void check_relaxed_order_justified(const fs::path& file, std::string_view raw) {
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start <= raw.size()) {
-    const std::size_t nl = raw.find('\n', start);
-    const std::size_t end = nl == std::string_view::npos ? raw.size() : nl;
-    lines.push_back(raw.substr(start, end - start));
-    if (nl == std::string_view::npos) break;
-    start = nl + 1;
-  }
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].find("memory_order_relaxed") == std::string_view::npos) continue;
-    bool justified = false;
-    for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
-      if (lines[i - back].find("relaxed:") != std::string_view::npos) {
-        justified = true;
-        break;
-      }
-    }
-    if (!justified) {
-      report(file, i + 1, "R8",
-             "memory_order_relaxed without an adjacent `// relaxed: <why>` "
-             "justification");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R9
-// src/obs/ implements the logger (it must reach the real stderr) and
-// util/cli.cpp is the flag-parsing helper that prints usage text; all
-// other library code routes output through mcb::log.
-bool may_write_streams_directly(const fs::path& p) {
-  for (const auto& part : p) {
-    if (part == "obs") return true;
-  }
-  return p.filename() == "cli.cpp" && p.parent_path().filename() == "util";
-}
-
-void check_no_direct_stream_writes(const fs::path& file, std::string_view code) {
-  // std::cout / std::cerr / std::clog by name.
-  static constexpr std::string_view kStreams[] = {"cout", "cerr", "clog"};
-  for (const auto word : kStreams) {
-    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
-         pos = find_word(code, word, pos + 1)) {
-      if (pos < 5 || code.substr(pos - 5, 5) != "std::") continue;
-      report(file, line_of(code, pos), "R9",
-             "direct `std::" + std::string(word) +
-                 "` write in library code — log through mcb::log instead");
-    }
-  }
-  // printf-family calls that hit stdout/stderr. snprintf/sscanf style
-  // buffer formatting is fine; only stream emitters are banned.
-  static constexpr std::string_view kBannedCalls[] = {
-      "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "fputc",
-      "putchar", "perror"};
-  for (const auto word : kBannedCalls) {
-    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
-         pos = find_word(code, word, pos + 1)) {
-      std::size_t after = pos + word.size();
-      while (after < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[after])) != 0) {
-        ++after;
-      }
-      if (after >= code.size() || code[after] != '(') continue;
-      report(file, line_of(code, pos), "R9",
-             "`" + std::string(word) +
-                 "()` writes to a process stream from library code — log "
-                 "through mcb::log instead");
-    }
-  }
-}
-
-// ------------------------------------------------------------------- R5
-void check_pragma_once(const fs::path& file, std::string_view code) {
-  if (code.find("#pragma once") == std::string_view::npos) {
-    report(file, 1, "R5", "header missing `#pragma once`");
-  }
-}
-
-// ------------------------------------------------------------------- R4
-void check_header_self_contained(const Options& opts, const fs::path& header) {
-  // -P strips the output; we only care about the exit status.
-  std::string cmd = opts.compiler + " -std=" + opts.std_flag +
-                    " -fsyntax-only -x c++ -I " + (opts.root / "src").string() +
-                    " " + header.string() + " 2>/dev/null";
-  const int rc = std::system(cmd.c_str());  // NOLINT(cert-env33-c) — lint tool drives the compiler
-  if (rc != 0) {
-    report(header, 1, "R4",
-           "header is not self-contained: `" + opts.compiler +
-               " -fsyntax-only " + header.filename().string() + "` failed");
-  }
-}
-
-std::string read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-bool has_extension(const fs::path& p, std::string_view a, std::string_view b = "") {
-  const std::string ext = p.extension().string();
-  return ext == a || (!b.empty() && ext == b);
-}
-
 void usage() {
-  std::cerr << "usage: mcbound_lint --root <repo-root> [--compiler <cxx>] "
-               "[--std <std>] [--verbose]\n";
+  std::cerr
+      << "usage: mcbound_lint --root <repo-root> [--compiler <cxx>] [--std <std>]\n"
+      << "                    [--format text|sarif] [--graph dot] [--output <file>]\n"
+      << "                    [--layers <file>] [--baseline <file>] [--verbose]\n"
+      << "\n"
+      << "  --format sarif   emit SARIF 2.1.0 (for GitHub code scanning)\n"
+      << "  --graph dot      print the src/ module dependency graph and exit\n"
+      << "  --layers ''      disable the layer-manifest check (fixtures/tests)\n"
+      << "  --baseline ''    ignore the committed baseline\n"
+      << "\nrules:\n";
+  for (const auto& rule : mcb::lint::rule_catalog()) {
+    std::cerr << "  " << rule.id << (rule.id.size() < 3 ? "   " : "  ") << rule.summary
+              << "\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts;
+  mcb::lint::LintOptions options;
+  std::string format = "text";
+  std::string graph;
+  std::string output;
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::string_view arg = argv[i];
+    std::string_view value;
+    bool has_inline_value = false;
+    // Accept both `--flag value` and `--flag=value`.
+    if (const std::size_t eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto next = [&]() -> const char* {
+      if (has_inline_value) return value.data();
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
     if (arg == "--root") {
-      const char* v = next();
-      if (v == nullptr) { usage(); return 2; }
-      opts.root = v;
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      options.root = v;
     } else if (arg == "--compiler") {
-      const char* v = next();
-      if (v == nullptr) { usage(); return 2; }
-      opts.compiler = v;
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      options.compiler = v;
     } else if (arg == "--std") {
-      const char* v = next();
-      if (v == nullptr) { usage(); return 2; }
-      opts.std_flag = v;
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      options.std_flag = v;
+    } else if (arg == "--format") {
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      format = v;
+    } else if (arg == "--graph") {
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      graph = v;
+    } else if (arg == "--output") {
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      output = v;
+    } else if (arg == "--layers") {
+      options.layers_file = has_inline_value ? std::string(value)
+                                             : ((v = next()) != nullptr ? v : "");
+    } else if (arg == "--baseline") {
+      options.baseline_file = has_inline_value ? std::string(value)
+                                               : ((v = next()) != nullptr ? v : "");
     } else if (arg == "--verbose") {
-      opts.verbose = true;
+      options.verbose = true;
     } else {
       usage();
       return 2;
     }
   }
-  if (opts.root.empty()) {
+  if (options.root.empty()) {
     usage();
     return 2;
   }
-  std::error_code ec;
-  if (!fs::is_directory(opts.root / "src", ec)) {
-    std::cerr << "mcbound_lint: " << (opts.root / "src").string()
-              << " is not a directory\n";
+  if (format != "text" && format != "sarif") {
+    std::cerr << "mcbound_lint: unknown --format `" << format << "` (text|sarif)\n";
+    return 2;
+  }
+  if (!graph.empty() && graph != "dot") {
+    std::cerr << "mcbound_lint: unknown --graph `" << graph << "` (dot)\n";
     return 2;
   }
 
-  std::size_t files_scanned = 0;
-  std::size_t headers_compiled = 0;
+  const mcb::lint::LintResult result = mcb::lint::run_lint(options);
+  if (result.config_error) {
+    std::cerr << "mcbound_lint: " << result.config_message << "\n";
+    return 2;
+  }
 
-  // Library sources: all rules.
-  for (const auto& entry : fs::recursive_directory_iterator(opts.root / "src")) {
-    if (!entry.is_regular_file()) continue;
-    const fs::path& path = entry.path();
-    if (!has_extension(path, ".cpp", ".hpp")) continue;
-    const std::string raw = read_file(path);
-    const std::string code = strip_comments_and_strings(raw);
-    ++files_scanned;
-    check_no_wallclock_or_libc_rand(path, code);
-    check_no_naked_new_delete(path, code);
-    check_no_swallowing_catch_all(path, code);
-    if (!is_sync_wrapper_file(path)) check_no_raw_std_sync(path, code);
-    check_no_thread_detach(path, code);
-    check_relaxed_order_justified(path, raw);
-    if (!may_write_streams_directly(path)) check_no_direct_stream_writes(path, code);
-    if (has_extension(path, ".hpp")) {
-      check_pragma_once(path, code);
-      if (!opts.compiler.empty()) {
-        check_header_self_contained(opts, path);
-        ++headers_compiled;
-      }
+  std::ofstream file_out;
+  if (!output.empty()) {
+    file_out.open(output, std::ios::binary);
+    if (!file_out) {
+      std::cerr << "mcbound_lint: cannot write " << output << "\n";
+      return 2;
     }
   }
+  std::ostream& out = output.empty() ? std::cout : file_out;
 
-  // Tools and tests: R2/R3 only (a CLI may read the clock; harnesses may
-  // use whatever randomness they like, but leaks and swallowed errors are
-  // still bugs there).
-  for (const char* dir : {"tools", "tests", "bench", "examples"}) {
-    const fs::path base = opts.root / dir;
-    if (!fs::is_directory(base, ec)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const fs::path& path = entry.path();
-      if (!has_extension(path, ".cpp", ".hpp")) continue;
-      const std::string code = strip_comments_and_strings(read_file(path));
-      ++files_scanned;
-      check_no_naked_new_delete(path, code);
-      check_no_swallowing_catch_all(path, code);
-      check_no_thread_detach(path, code);
-    }
+  if (graph == "dot") {
+    // Pure emission mode for the CI drift gate and DESIGN.md: print the
+    // module DAG and report nothing else (rule findings still gate the
+    // regular invocation).
+    out << result.graph.to_dot();
+    return 0;
   }
 
-  for (const auto& v : g_violations) {
-    std::cout << v.file.string() << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
+  if (format == "sarif") {
+    mcb::lint::print_sarif(out, result.violations);
+  } else {
+    mcb::lint::print_text(out, result.violations);
   }
-  if (opts.verbose || !g_violations.empty()) {
-    std::cerr << "mcbound_lint: scanned " << files_scanned << " files, compiled "
-              << headers_compiled << " headers, " << g_violations.size()
+  if (options.verbose || !result.violations.empty()) {
+    std::cerr << "mcbound_lint: scanned " << result.stats.files_scanned
+              << " files, compiled " << result.stats.headers_compiled << " headers, "
+              << result.stats.modules << " modules / " << result.stats.module_edges
+              << " edges, " << result.stats.hot_regions << " hot regions, "
+              << result.stats.suppressions_used << " suppression(s), "
+              << result.stats.baselined << " baselined, " << result.violations.size()
               << " violation(s)\n";
   }
-  return g_violations.empty() ? 0 : 1;
+  return result.violations.empty() ? 0 : 1;
 }
