@@ -69,6 +69,10 @@ class ApiServer {
   /// The per-request tracer owned by the underlying HttpServer.
   obs::RequestTracer& tracer() noexcept { return server_.tracer(); }
 
+  /// The underlying reactor/executor (exposed for ops introspection,
+  /// e.g. the effective listen backlog after the somaxconn clamp).
+  const HttpServer& server() const noexcept { return server_; }
+
   /// Route table access for socket-less testing.
   HttpResponse dispatch(const HttpRequest& request) const { return server_.dispatch(request); }
 

@@ -85,7 +85,7 @@ std::optional<HttpRequest> parse_http_request(std::string_view raw) {
   return request;
 }
 
-std::string serialize_http_response(const HttpResponse& response) {
+std::string serialize_http_response(const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
   out += http_status_text(response.status);
   out += "\r\nContent-Type: ";
@@ -103,7 +103,7 @@ std::string serialize_http_response(const HttpResponse& response) {
     out += ": ";
     out += value;
   }
-  out += "\r\nConnection: close\r\n\r\n";
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n" : "\r\nConnection: close\r\n\r\n";
   out += response.body;
   return out;
 }

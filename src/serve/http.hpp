@@ -1,7 +1,10 @@
 // Minimal HTTP/1.1 message types and wire parsing — enough protocol for
 // the MCBound REST API (the paper deploys a flask backend; this is the
 // dependency-free C++ equivalent). Supports request line + headers +
-// Content-Length bodies; no chunked encoding, no keep-alive pipelining.
+// Content-Length bodies; no chunked encoding. Messages are parsed one
+// at a time — keep-alive and pipelining are the reactor's job
+// (serve/server.cpp), which frames each message off the connection
+// buffer via expected_request_length() before parsing it.
 #pragma once
 
 #include <map>
@@ -44,8 +47,12 @@ std::string_view http_status_text(int status) noexcept;
 /// nullopt on malformed input.
 std::optional<HttpRequest> parse_http_request(std::string_view raw);
 
-/// Serialize a response to the wire format (adds Content-Length).
-std::string serialize_http_response(const HttpResponse& response);
+/// Serialize a response to the wire format (adds Content-Length). The
+/// Connection header reflects `keep_alive`: the reactor keeps sockets
+/// open across requests unless the client asked to close (or the
+/// response terminates the connection — errors, shedding, drain).
+std::string serialize_http_response(const HttpResponse& response,
+                                    bool keep_alive = false);
 
 /// Sentinel returned by expected_request_length for a head whose framing
 /// cannot be trusted (unparsable or duplicate Content-Length): the caller

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -13,12 +16,24 @@
 #include <optional>
 
 #include "obs/log.hpp"
+#include "util/net.hpp"
 #include "util/strings.hpp"
 
 namespace mcb {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// epoll user-data tags for the two non-connection fds. Real connections
+// carry their Connection* in data.ptr; heap pointers are never 1 or 2.
+constexpr std::uint64_t kListenerTag = 1;
+constexpr std::uint64_t kWakeTag = 2;
+
+constexpr int kEpollBatch = 256;
+constexpr std::size_t kReadChunk = 16 * 1024;
+constexpr std::uint64_t kWheelTickMs = 10;
+constexpr std::size_t kWheelSlots = 256;
+constexpr std::uint64_t kNoDeadline = static_cast<std::uint64_t>(-1);
 
 bool send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
@@ -28,18 +43,6 @@ bool send_all(int fd, std::string_view data) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
-}
-
-bool send_response(int fd, const HttpResponse& response) {
-  return send_all(fd, serialize_http_response(response));
-}
-
-void set_socket_timeout(int fd, int option, int timeout_ms) {
-  if (timeout_ms <= 0) return;
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
 }
 
 Json latency_json(const Histogram& log10_us, double sum_us, double max_us,
@@ -165,13 +168,49 @@ void ServerStats::collect_metrics(std::vector<obs::MetricFamily>& out) const {
   out.push_back(std::move(durations));
 }
 
-HttpServer::HttpServer(ServerConfig config) : config_(config) {
+/// Per-connection state machine, owned and mutated exclusively by the
+/// reactor thread (the conns_ table is mutex-guarded only because other
+/// threads snapshot its size). `inbuf`/`outbuf` are reused across
+/// keep-alive requests: erase/clear keep their capacity, so a warm
+/// connection stops allocating.
+struct HttpServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;      ///< wheel/completion key; never reused
+  std::string inbuf;         ///< unconsumed request bytes
+  std::string outbuf;        ///< unflushed response bytes
+  std::size_t out_off = 0;   ///< flushed prefix of outbuf
+  /// outbuf end-offsets that complete a dispatched response; `handled`
+  /// increments when the flush cursor passes a mark, preserving the
+  /// "responses fully written" meaning under pipelining.
+  std::vector<std::size_t> handled_marks;
+  std::size_t marks_done = 0;
+  bool receiving = false;        ///< first byte of the current request seen
+  bool in_handler = false;       ///< one request running on the pool
+  bool peer_half_closed = false; ///< read side saw EOF (client shutdown(WR))
+  bool want_close = false;       ///< close once outbuf drains
+  bool want_write = false;       ///< EPOLLOUT currently registered
+  bool read_paused = false;      ///< drain stopped before EAGAIN (buffer cap)
+  bool closed = false;           ///< fd closed; object lingers to batch end
+  bool timer_armed = false;      ///< one live wheel entry for this id
+  std::uint64_t requests_done = 0;
+  std::uint64_t last_activity_ms = 0;  ///< last byte received / response flushed
+  std::uint64_t request_start_ms = 0;  ///< first byte of the current request
+  std::uint64_t write_stall_ms = 0;    ///< 0 = not write-stalled
+  /// Covers receive time of the current request; moved into the
+  /// PendingRequest at dispatch so the handler owns it and the
+  /// Connection can die while the handler runs.
+  std::optional<obs::TraceContext> trace;
+};
+
+HttpServer::HttpServer(ServerConfig config)
+    : config_(config), wheel_(kWheelTickMs, kWheelSlots) {
   if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.max_connections == 0) config_.max_connections = 1;
 }
 
-// NOLINTNEXTLINE(bugprone-exception-escape) — stop() joins worker threads
-// and may throw system_error on corrupt thread state; terminating there is
-// better than leaking joinable threads (see .clang-tidy scope note).
+// NOLINTNEXTLINE(bugprone-exception-escape) — stop() joins the reactor and
+// worker threads and may throw system_error on corrupt thread state;
+// terminating there is better than leaking joinable threads.
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::route(const std::string& method, const std::string& path,
@@ -249,6 +288,8 @@ Json HttpServer::stats_json() const {
   server.set("queue_capacity", static_cast<std::int64_t>(config_.max_pending));
   server.set("queue_depth",
              static_cast<std::int64_t>(pool_ != nullptr ? pool_->pending() : 0));
+  server.set("listen_backlog", static_cast<std::int64_t>(effective_backlog_));
+  server.set("max_connections", static_cast<std::int64_t>(config_.max_connections));
   Json out = Json::object();
   out.set("server", server);
   out.set("routes", stats["routes"]);
@@ -257,23 +298,53 @@ Json HttpServer::stats_json() const {
 
 std::size_t HttpServer::active_connections() const {
   MutexLock lock(conn_mutex_);
-  return active_fds_.size();
+  return conns_.size();
+}
+
+std::uint64_t HttpServer::now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - epoch_)
+          .count());
+}
+
+HttpServer::Connection* HttpServer::find_connection(std::uint64_t id) {
+  // Returning the raw pointer after unlock is safe: only the reactor
+  // thread destroys connections, and it is the only caller.
+  MutexLock lock(conn_mutex_);
+  const auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void HttpServer::wake_reactor() const {
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void HttpServer::consume_wake() const {
+  std::uint64_t value = 0;
+  [[maybe_unused]] const ssize_t n = ::read(wake_fd_, &value, sizeof(value));
 }
 
 bool HttpServer::start(int port) {
   if (running_.load()) return false;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return false;
 
   const int opt = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+  const int somax = somaxconn();
+  const int backlog = std::max(config_.listen_backlog, 1);
+  effective_backlog_ = std::min(backlog, somax);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      ::listen(listen_fd_, backlog) != 0) {
     log::error("serve", "bind/listen failed",
                {log::Field("port", static_cast<std::int64_t>(port)),
                 log::Field("errno", static_cast<std::int64_t>(errno))});
@@ -286,198 +357,644 @@ bool HttpServer::start(int port) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+    return false;
+  }
+  epoll_event lev{};
+  lev.events = EPOLLIN | EPOLLET;
+  lev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &lev);
+  epoll_event wev{};
+  wev.events = EPOLLIN;  // level-triggered: consume_wake clears it
+  wev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wev);
+
+  epoch_ = Clock::now();
+  wheel_ = TimerWheel(kWheelTickMs, kWheelSlots);
+  draining_ = false;
+  drain_deadline_ms_ = 0;
+  {
+    MutexLock lock(completion_mutex_);
+    completions_.clear();
+  }
   pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
   running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
   log::info("serve", "listening",
             {log::Field("port", static_cast<std::int64_t>(port_)),
-             log::Field("workers", static_cast<std::int64_t>(config_.worker_threads))});
+             log::Field("workers", static_cast<std::int64_t>(config_.worker_threads)),
+             log::Field("backlog", static_cast<std::int64_t>(backlog)),
+             log::Field("effective_backlog",
+                        static_cast<std::int64_t>(effective_backlog_)),
+             log::Field("somaxconn", static_cast<std::int64_t>(somax))});
   return true;
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  // Wake the accept loop with shutdown() but keep the fd alive until the
-  // thread is joined: closing here would race the concurrent accept()
-  // (and could hand a recycled fd number to a blocked accept).
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
+  // The reactor observes running_ == false, stops accepting, closes idle
+  // connections and drains the rest within the drain budget; joining it
+  // is bounded by that budget plus the longest in-flight handler.
+  wake_reactor();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  // Handler workers may still be finishing; their completions are for
+  // connections that no longer exist and are simply never read.
+  pool_.reset();
+  {
+    MutexLock lock(completion_mutex_);
+    completions_.clear();
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {  // normally closed by the reactor's drain phase
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-
-  // Drain in-flight connections for the configured budget, then wake any
-  // stragglers out of blocked recv/send via shutdown(). The fd itself is
-  // closed only by the owning worker, so there is no reuse race.
-  {
-    MutexLock lock(conn_mutex_);
-    const auto deadline =
-        Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
-    while (!active_fds_.empty()) {
-      if (!drain_cv_.wait_until(conn_mutex_, deadline)) break;  // drain budget spent
-    }
-    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  // Queued-but-unstarted connections observe running_ == false and shed
-  // immediately, so joining the pool is bounded.
-  pool_.reset();
   log::info("serve", "stopped",
             {log::Field("handled", static_cast<std::int64_t>(stats_.handled.load())),
              log::Field("rejected", static_cast<std::int64_t>(stats_.rejected.load()))});
 }
 
-void HttpServer::accept_loop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      continue;
-    }
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-    set_socket_timeout(fd, SO_RCVTIMEO, config_.recv_timeout_ms);
-    set_socket_timeout(fd, SO_SNDTIMEO, config_.send_timeout_ms);
-
-    std::function<void()> task = [this, fd] { handle_connection(fd); };
-    if (!pool_->try_submit(task, config_.max_pending)) {
-      // Executor saturated: shed load here instead of queueing without
-      // bound. Never block the accept path on worker progress.
-      stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-      log::warn("serve", "shedding connection: executor saturated",
-                {log::Field("pending", static_cast<std::int64_t>(pool_->pending()))});
-      send_response(fd, HttpResponse::json(503, R"({"error":"server overloaded"})"));
-      ::close(fd);
-    }
-  }
-}
-
-void HttpServer::handle_connection(int fd) {
-  bool admitted = false;
-  {
-    MutexLock lock(conn_mutex_);
-    if (running_.load()) {
-      active_fds_.insert(fd);
-      admitted = true;
-    }
-  }
-  if (!admitted) {
-    // stop() began while this connection sat in the pending queue. The
-    // 503 is sent outside the lock so a stalled client can't pin it.
-    stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-    send_response(fd, HttpResponse::json(503, R"({"error":"server shutting down"})"));
-    ::close(fd);
-    return;
-  }
-
-  // The trace covers the whole request lifetime including receive time,
-  // so a client that drips bytes shows up as a slow trace, not a fast
-  // handler.
-  obs::TraceContext trace = tracer_.make_trace();
-  const auto deadline =
-      Clock::now() + std::chrono::milliseconds(config_.request_deadline_ms);
-  std::string received;
-  char buffer[8192];
-  std::size_t expected = 0;
-  enum class Outcome { kComplete, kTimeout, kTooLarge, kBadFraming, kClientGone };
-  Outcome outcome = Outcome::kComplete;
-
+void HttpServer::reactor_loop() {
+  std::vector<epoll_event> events(kEpollBatch);
   for (;;) {
-    if (Clock::now() >= deadline) {
-      outcome = Outcome::kTimeout;
-      break;
-    }
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // EAGAIN/EWOULDBLOCK: SO_RCVTIMEO expired with the client idle.
-      outcome = (errno == EAGAIN || errno == EWOULDBLOCK) ? Outcome::kTimeout
-                                                          : Outcome::kClientGone;
-      break;
-    }
-    if (n == 0) {  // orderly close (or stop() shut the socket down)
-      outcome = Outcome::kClientGone;
-      break;
-    }
-    received.append(buffer, static_cast<std::size_t>(n));
-    if (received.size() > config_.max_request_bytes) {
-      outcome = Outcome::kTooLarge;
-      break;
-    }
-    if (expected == 0) {
-      expected = expected_request_length(received);
-      if (expected == kInvalidRequestFraming) {
-        outcome = Outcome::kBadFraming;
+    if (!running_.load(std::memory_order_acquire) && !draining_) begin_drain();
+    if (draining_) {
+      std::size_t open = 0;
+      {
+        MutexLock lock(conn_mutex_);
+        open = conns_.size();
+      }
+      if (open == 0) break;
+      if (now_ms() >= drain_deadline_ms_) {
+        force_close_all();
         break;
       }
     }
-    if (expected != 0 && received.size() >= expected) break;
-  }
-
-  switch (outcome) {
-    case Outcome::kComplete: {
-      std::optional<HttpRequest> request;
+    int timeout_ms = static_cast<int>(wheel_.tick_ms());
+    if (!draining_ && wheel_.armed() == 0) {
+      std::size_t open = 0;
       {
-        obs::Span parse_span(&trace, obs::Stage::kParse);
-        request = parse_http_request(received);
+        MutexLock lock(conn_mutex_);
+        open = conns_.size();
       }
-      if (request.has_value()) {
-        const auto id_it = request->headers.find("x-request-id");
-        if (id_it != request->headers.end()) trace.adopt_id(id_it->second);
-        std::string wire;
-        int status = 0;
-        {
-          obs::TraceScope scope(&trace);
-          const HttpResponse response = dispatch(*request);
-          status = response.status;
-          obs::Span serialize_span(&trace, obs::Stage::kSerialize);
-          wire = serialize_http_response(response);
-        }
-        if (send_all(fd, wire)) {
-          stats_.handled.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-        }
-        tracer_.finish(trace, status,
-                       trace.route().empty() ? "(unknown)" : trace.route());
-      } else {
-        stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-        send_response(fd, HttpResponse::json(400, R"({"error":"malformed request"})"));
-        tracer_.finish(trace, 400, "(malformed)");
-      }
+      if (open == 0) timeout_ms = 200;  // idle: nothing to expire
+    }
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      log::error("serve", "epoll_wait failed",
+                 {log::Field("errno", static_cast<std::int64_t>(errno))});
       break;
     }
-    case Outcome::kTimeout:
-      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-      send_response(fd, HttpResponse::json(408, R"({"error":"request timeout"})"));
-      tracer_.finish(trace, 408, "(timeout)");
-      break;
-    case Outcome::kTooLarge:
-      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-      send_response(fd, HttpResponse::json(413, R"({"error":"request too large"})"));
-      tracer_.finish(trace, 413, "(too_large)");
-      break;
-    case Outcome::kBadFraming:
-      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-      send_response(fd,
-                    HttpResponse::json(400, R"({"error":"invalid content-length"})"));
-      tracer_.finish(trace, 400, "(bad_framing)");
-      break;
-    case Outcome::kClientGone:
-      if (!received.empty()) {
-        stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
-        // 499 (client closed request): retained by the flight recorder
-        // like any other errored request.
-        tracer_.finish(trace, 499, "(client_gone)");
+    reactor_tick(events.data(), n > 0 ? n : 0);
+  }
+}
+
+// The reactor's per-iteration body: fan events out to the connection
+// state machines, absorb handler completions, expire timers. Hot by
+// construction — runs once per epoll batch at full load — so it is
+// MCB_HOT_PATH: no allocation, locks or blocking calls here; those live
+// in the leaf helpers where they are bounded and justified.
+MCB_HOT_PATH
+void HttpServer::reactor_tick(const epoll_event* events, int n_events) {
+  for (int i = 0; i < n_events; ++i) {
+    const epoll_event& ev = events[i];
+    if (ev.data.u64 == kListenerTag) {
+      if (!draining_) handle_accepts();
+    } else if (ev.data.u64 == kWakeTag) {
+      consume_wake();
+    } else {
+      handle_event(static_cast<Connection*>(ev.data.ptr), ev.events);
+    }
+  }
+  drain_completions();
+  expire_timers();
+  destroy_closed();
+}
+
+// Per-connection event dispatch: resume writes first (frees buffer
+// space), then pump reads through the state machine. Also MCB_HOT_PATH —
+// pure control flow over the Connection, no allocation or locking.
+MCB_HOT_PATH
+void HttpServer::handle_event(Connection* conn, std::uint32_t events) {
+  if (conn == nullptr || conn->closed) return;
+  if ((events & EPOLLERR) != 0) {
+    finish_abandoned(conn);
+    close_connection(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) flush_output(conn);
+  if (conn->closed) return;
+  if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) pump_input(conn);
+}
+
+// Drain-then-process until the socket is dry (edge-triggered epoll will
+// not re-notify for bytes we left behind) or a handler has the
+// connection and reading is paused.
+void HttpServer::pump_input(Connection* conn) {
+  do {
+    conn->read_paused = false;
+    drain_input(conn);
+    if (conn->closed) return;
+    process_inbuf(conn);
+    if (conn->closed) return;
+  } while (conn->read_paused && !conn->in_handler);
+}
+
+void HttpServer::drain_input(Connection* conn) {
+  char buffer[kReadChunk];
+  // Cap buffered-but-unprocessed bytes: an abusive client pipelining
+  // into a slow handler parks here instead of growing inbuf unboundedly;
+  // reading resumes (read_paused) once the state machine catches up.
+  const std::size_t cap = config_.max_request_bytes + sizeof(buffer);
+  for (;;) {
+    if (conn->inbuf.size() >= cap) {
+      conn->read_paused = true;
+      return;
+    }
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      finish_abandoned(conn);
+      close_connection(conn);
+      return;
+    }
+    if (n == 0) {  // orderly shutdown of the client's write side
+      conn->peer_half_closed = true;
+      return;
+    }
+    conn->inbuf.append(buffer, static_cast<std::size_t>(n));
+    conn->last_activity_ms = now_ms();
+  }
+}
+
+void HttpServer::process_inbuf(Connection* conn) {
+  for (;;) {
+    if (conn->closed || conn->in_handler || conn->want_close) return;
+    if (conn->inbuf.empty()) {
+      if (conn->peer_half_closed) {
+        // Client finished sending and everything is answered: close
+        // (half-close contract: pending responses still go out first).
+        conn->want_close = true;
+        if (conn->out_off >= conn->outbuf.size()) close_connection(conn);
       }
-      break;
+      return;
+    }
+    if (!conn->receiving) {
+      conn->receiving = true;
+      conn->request_start_ms = now_ms();
+      conn->last_activity_ms = conn->request_start_ms;
+      // The trace covers the whole request lifetime including receive
+      // time, so a client that drips bytes shows up as a slow trace,
+      // not a fast handler. (The first request's trace is created at
+      // accept so a silent connection is traceable too.)
+      if (!conn->trace.has_value()) conn->trace.emplace(tracer_.make_trace());
+      arm_timer(conn);
+    }
+    const std::size_t expected = expected_request_length(conn->inbuf);
+    if (expected == kInvalidRequestFraming) {
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      fail_request(conn,
+                   HttpResponse::json(400, R"({"error":"invalid content-length"})"),
+                   "(bad_framing)");
+      return;
+    }
+    if (expected != 0 && conn->inbuf.size() >= expected) {
+      if (expected > config_.max_request_bytes) {
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+        fail_request(conn, HttpResponse::json(413, R"({"error":"request too large"})"),
+                     "(too_large)");
+        return;
+      }
+      dispatch_request(conn, expected);
+      continue;  // further pipelined requests wait for the completion
+    }
+    // Request still incomplete.
+    if (conn->inbuf.size() > config_.max_request_bytes) {
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      fail_request(conn, HttpResponse::json(413, R"({"error":"request too large"})"),
+                   "(too_large)");
+      return;
+    }
+    if (conn->peer_half_closed) {  // EOF mid-request: it can never complete
+      finish_abandoned(conn);
+      close_connection(conn);
+      return;
+    }
+    return;
+  }
+}
+
+void HttpServer::dispatch_request(Connection* conn, std::size_t wire_len) {
+  auto pending = std::make_shared<PendingRequest>();
+  pending->conn_id = conn->id;
+  pending->raw.assign(conn->inbuf, 0, wire_len);
+  pending->trace = std::move(*conn->trace);
+  conn->trace.reset();
+  conn->inbuf.erase(0, wire_len);  // keeps capacity: buffer reuse across requests
+  conn->receiving = false;
+
+  if (draining_) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    tracer_.finish(pending->trace, 503, "(shed)");
+    conn->want_close = true;
+    enqueue_response(conn,
+                     serialize_http_response(
+                         HttpResponse::json(503, R"({"error":"server shutting down"})"),
+                         false),
+                     false);
+    return;
   }
 
+  std::function<void()> task = [this, pending] { run_handler(*pending); };
+  if (!pool_->try_submit(task, config_.max_pending)) {
+    // Handler pool saturated: shed load here instead of queueing without
+    // bound. The reactor never blocks on worker progress.
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    log::warn("serve", "shedding request: handler pool saturated",
+              {log::Field("pending", static_cast<std::int64_t>(pool_->pending()))});
+    tracer_.finish(pending->trace, 503, "(shed)");
+    conn->want_close = true;
+    enqueue_response(conn,
+                     serialize_http_response(
+                         HttpResponse::json(503, R"({"error":"server overloaded"})"),
+                         false),
+                     false);
+    return;
+  }
+  conn->in_handler = true;
+}
+
+// Runs on a pool worker. Self-contained: owns the raw bytes and the
+// trace; talks back to the reactor only through the completion queue.
+void HttpServer::run_handler(PendingRequest& pending) {
+  std::optional<HttpRequest> request;
+  {
+    obs::Span parse_span(&pending.trace, obs::Stage::kParse);
+    request = parse_http_request(pending.raw);
+  }
+  Completion completion;
+  completion.conn_id = pending.conn_id;
+  if (request.has_value()) {
+    const auto id_it = request->headers.find("x-request-id");
+    if (id_it != request->headers.end()) pending.trace.adopt_id(id_it->second);
+
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // Connection header wins either way.
+    bool keep_alive = true;
+    const std::size_t line_end = pending.raw.find("\r\n");
+    if (line_end != std::string::npos &&
+        std::string_view(pending.raw).substr(0, line_end).ends_with("HTTP/1.0")) {
+      keep_alive = false;
+    }
+    const auto conn_it = request->headers.find("connection");
+    if (conn_it != request->headers.end()) {
+      const std::string value = to_lower(conn_it->second);
+      if (value.find("close") != std::string::npos) {
+        keep_alive = false;
+      } else if (value.find("keep-alive") != std::string::npos) {
+        keep_alive = true;
+      }
+    }
+
+    int status = 0;
+    {
+      obs::TraceScope scope(&pending.trace);
+      const HttpResponse response = dispatch(*request);
+      status = response.status;
+      obs::Span serialize_span(&pending.trace, obs::Stage::kSerialize);
+      completion.wire = serialize_http_response(response, keep_alive);
+    }
+    completion.keep_alive = keep_alive;
+    completion.dispatched = true;
+    tracer_.finish(pending.trace, status,
+                   pending.trace.route().empty() ? "(unknown)" : pending.trace.route());
+  } else {
+    stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    completion.wire = serialize_http_response(
+        HttpResponse::json(400, R"({"error":"malformed request"})"), false);
+    completion.keep_alive = false;
+    completion.dispatched = false;
+    tracer_.finish(pending.trace, 400, "(malformed)");
+  }
+  {
+    MutexLock lock(completion_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  wake_reactor();
+}
+
+void HttpServer::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    MutexLock lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    Connection* conn = find_connection(completion.conn_id);
+    if (conn == nullptr || conn->closed) continue;  // connection died mid-handler
+    conn->in_handler = false;
+    ++conn->requests_done;
+    if (!completion.keep_alive || draining_) conn->want_close = true;
+    enqueue_response(conn, completion.wire, completion.dispatched);
+    if (conn->closed || conn->want_close) continue;
+    // The next pipelined request may already be buffered, and a paused
+    // read must resume now that the state machine caught up.
+    if (conn->read_paused) {
+      pump_input(conn);
+    } else {
+      process_inbuf(conn);
+    }
+    if (!conn->closed) arm_timer(conn);
+  }
+}
+
+void HttpServer::enqueue_response(Connection* conn, std::string_view wire,
+                                  bool count_handled) {
+  conn->outbuf.append(wire.data(), wire.size());
+  if (count_handled) conn->handled_marks.push_back(conn->outbuf.size());
+  flush_output(conn);
+}
+
+void HttpServer::flush_output(Connection* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                             conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Partial write: park the rest, resume on EPOLLOUT, and start
+        // the write-stall clock (timer wheel replaces SO_SNDTIMEO).
+        if (conn->write_stall_ms == 0) conn->write_stall_ms = now_ms();
+        update_epoll(conn, true);
+        arm_timer(conn);
+        return;
+      }
+      finish_abandoned(conn);
+      close_connection(conn);
+      return;
+    }
+    conn->out_off += static_cast<std::size_t>(n);
+    while (conn->marks_done < conn->handled_marks.size() &&
+           conn->handled_marks[conn->marks_done] <= conn->out_off) {
+      stats_.handled.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      ++conn->marks_done;
+    }
+  }
+  conn->outbuf.clear();  // keeps capacity: buffer reuse across requests
+  conn->out_off = 0;
+  conn->handled_marks.clear();
+  conn->marks_done = 0;
+  conn->write_stall_ms = 0;
+  if (conn->want_write) update_epoll(conn, false);
+  if (conn->want_close) {
+    close_connection(conn);
+    return;
+  }
+  conn->last_activity_ms = now_ms();
+  if (!conn->receiving && !conn->in_handler) arm_timer(conn);  // idle deadline
+}
+
+void HttpServer::fail_request(Connection* conn, const HttpResponse& response,
+                              const char* route_key) {
+  if (conn->trace.has_value()) {
+    tracer_.finish(*conn->trace, response.status, route_key);
+    conn->trace.reset();
+  }
+  conn->receiving = false;
+  conn->inbuf.clear();
+  conn->want_close = true;
+  enqueue_response(conn, serialize_http_response(response, false), false);
+}
+
+// The client vanished (EOF mid-request, reset, or write failure): close
+// out the receive-side trace the way the thread-per-connection server
+// classified it — 499 with the "(client_gone)" route when request bytes
+// had arrived, silently otherwise.
+void HttpServer::finish_abandoned(Connection* conn) {
+  if (!conn->trace.has_value()) return;
+  if (conn->receiving && !conn->inbuf.empty()) {
+    stats_.malformed.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    // 499 (client closed request): retained by the flight recorder like
+    // any other errored request.
+    tracer_.finish(*conn->trace, 499, "(client_gone)");
+  }
+  conn->trace.reset();
+}
+
+void HttpServer::close_connection(Connection* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  MutexLock lock(conn_mutex_);
+  const auto it = conns_.find(conn->id);
+  if (it != conns_.end()) {
+    // Deferred free: the current epoll batch may still hold this
+    // pointer, so the object lives until destroy_closed().
+    closed_scratch_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+}
+
+void HttpServer::destroy_closed() { closed_scratch_.clear(); }
+
+void HttpServer::update_epoll(Connection* conn, bool want_write) {
+  if (conn->want_write == want_write) return;
+  conn->want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | (want_write ? EPOLLOUT : 0U);
+  ev.data.ptr = conn;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void HttpServer::handle_accepts() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        log::warn("serve", "accept failed: out of file descriptors", {});
+      }
+      return;  // EAGAIN: backlog drained
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    std::size_t open = 0;
+    {
+      MutexLock lock(conn_mutex_);
+      open = conns_.size();
+    }
+    if (open >= config_.max_connections) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+      // Best effort: a fresh connection's empty send buffer takes the
+      // tiny 503 without blocking.
+      const std::string wire = serialize_http_response(
+          HttpResponse::json(503, R"({"error":"server overloaded"})"), false);
+      (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn->last_activity_ms = now_ms();
+    conn->trace.emplace(tracer_.make_trace());
+    Connection* raw = conn.get();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.ptr = raw;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    {
+      MutexLock lock(conn_mutex_);
+      conns_.emplace(raw->id, std::move(conn));
+    }
+    arm_timer(raw);
+  }
+}
+
+// ------------------------------------------------------------- timers
+
+std::uint64_t HttpServer::connection_deadline(const Connection* conn) const {
+  std::uint64_t deadline = kNoDeadline;
+  const auto consider = [&deadline](std::uint64_t candidate) {
+    deadline = std::min(deadline, candidate);
+  };
+  if (conn->receiving) {
+    if (config_.recv_timeout_ms > 0) {
+      consider(conn->last_activity_ms + static_cast<std::uint64_t>(config_.recv_timeout_ms));
+    }
+    if (config_.request_deadline_ms > 0) {
+      consider(conn->request_start_ms +
+               static_cast<std::uint64_t>(config_.request_deadline_ms));
+    }
+  } else if (!conn->in_handler && conn->out_off >= conn->outbuf.size()) {
+    // Idle between requests (or silent since accept).
+    if (config_.recv_timeout_ms > 0) {
+      consider(conn->last_activity_ms + static_cast<std::uint64_t>(config_.recv_timeout_ms));
+    }
+  }
+  if (conn->write_stall_ms != 0 && config_.send_timeout_ms > 0) {
+    consider(conn->write_stall_ms + static_cast<std::uint64_t>(config_.send_timeout_ms));
+  }
+  return deadline;
+}
+
+void HttpServer::arm_timer(Connection* conn) {
+  if (conn->timer_armed || conn->closed) return;
+  const std::uint64_t deadline = connection_deadline(conn);
+  if (deadline == kNoDeadline) return;
+  const std::uint64_t now = now_ms();
+  conn->timer_armed = true;
+  wheel_.schedule(conn->id, deadline > now ? deadline - now : 0);
+}
+
+// Lazy cancellation: a wheel fire is only a wake-up. Re-derive the real
+// deadline from the connection state; re-arm when it moved, act when it
+// passed, drop silently when the connection is gone.
+void HttpServer::on_timer(std::uint64_t id) {
+  Connection* conn = find_connection(id);
+  if (conn == nullptr || conn->closed) return;
+  conn->timer_armed = false;
+  if (conn->in_handler) return;  // completion path re-arms
+  const std::uint64_t deadline = connection_deadline(conn);
+  if (deadline == kNoDeadline) return;
+  const std::uint64_t now = now_ms();
+  if (now < deadline) {
+    conn->timer_armed = true;
+    wheel_.schedule(conn->id, deadline - now);
+    return;
+  }
+  if (conn->write_stall_ms != 0 && config_.send_timeout_ms > 0 &&
+      now >= conn->write_stall_ms + static_cast<std::uint64_t>(config_.send_timeout_ms)) {
+    // The client stopped reading its response; nothing we can say to it.
+    finish_abandoned(conn);
+    close_connection(conn);
+    return;
+  }
+  if (conn->receiving || conn->requests_done == 0) {
+    // A request in flight (or a connection that never sent one) hit the
+    // idle/deadline budget: 408, matching the blocking server.
+    stats_.timed_out.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat counter
+    fail_request(conn, HttpResponse::json(408, R"({"error":"request timeout"})"),
+                 "(timeout)");
+    return;
+  }
+  // Idle keep-alive connection between requests: close silently.
+  close_connection(conn);
+}
+
+void HttpServer::expire_timers() {
+  expired_scratch_.clear();
+  wheel_.advance(now_ms(), expired_scratch_);
+  for (const std::uint64_t id : expired_scratch_) on_timer(id);
+}
+
+// -------------------------------------------------------------- drain
+
+void HttpServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ms_ =
+      now_ms() + static_cast<std::uint64_t>(std::max(config_.drain_timeout_ms, 0));
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Idle keep-alive connections have nothing to drain; cut them now so
+  // the budget is spent on connections with work in flight.
+  std::vector<Connection*> open;
   {
     MutexLock lock(conn_mutex_);
-    active_fds_.erase(fd);
-    if (active_fds_.empty()) drain_cv_.notify_all();
+    open.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) open.push_back(conn.get());
   }
-  ::close(fd);
+  for (Connection* conn : open) {
+    if (conn->closed) continue;
+    if (!conn->in_handler && !conn->receiving && conn->out_off >= conn->outbuf.size()) {
+      close_connection(conn);
+    }
+  }
+  destroy_closed();
 }
+
+void HttpServer::force_close_all() {
+  std::vector<Connection*> open;
+  {
+    MutexLock lock(conn_mutex_);
+    open.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) open.push_back(conn.get());
+  }
+  for (Connection* conn : open) {
+    finish_abandoned(conn);
+    close_connection(conn);
+  }
+  destroy_closed();
+}
+
+// ------------------------------------------------------- test client
 
 bool http_request(int port, const std::string& method, const std::string& path,
                   const std::string& body,
@@ -496,6 +1013,8 @@ bool http_request(int port, const std::string& method, const std::string& path,
 
   std::string request = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
   request += "Content-Type: application/json\r\n";
+  // This client reads until the server closes, so opt out of keep-alive.
+  request += "Connection: close\r\n";
   for (const auto& [key, value] : extra_headers) {
     request += key;
     request += ": ";

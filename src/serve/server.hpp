@@ -1,25 +1,32 @@
-// Threaded TCP HTTP server with a path-based router, built on a bounded
-// connection executor. Listens on 127.0.0.1; accepted sockets are
-// dispatched to a fixed-size worker pool with a bounded pending queue —
-// when the pool is saturated the accept loop sheds load with an
-// immediate 503 instead of queueing without bound. Connections are
-// short-lived (Connection: close) and carry receive/send socket
-// timeouts plus an overall per-request deadline, so a client that
-// connects and sends nothing (or drips bytes forever) is cut off at the
-// deadline rather than pinning a worker. stop() is graceful: it stops
-// accepting, drains in-flight connections for a bounded time, then
-// force-closes stragglers. Port 0 binds an ephemeral port — tests read
-// the bound port back.
+// Event-driven HTTP server: one epoll reactor thread owns the
+// non-blocking listener and every connection; request handlers run on a
+// bounded worker pool *behind* the reactor (DESIGN.md §6).
+//
+// The reactor never blocks on a handler and never performs a blocking
+// syscall: sockets are O_NONBLOCK, accepts are drained until EAGAIN,
+// reads/writes resume across partial I/O via epoll interest, and
+// idle/request/write-stall deadlines live on a timer wheel instead of
+// SO_RCVTIMEO. Connections are keep-alive by default (HTTP/1.1) with
+// pipelining support — requests on one connection are answered strictly
+// in order — and the per-connection read/write buffers are reused
+// across requests. When the handler pool is saturated the reactor sheds
+// the request with an immediate 503 instead of queueing without bound.
+// stop() is graceful: stop accepting, close idle connections, drain
+// in-flight requests for a bounded budget, then force-close stragglers.
+// Port 0 binds an ephemeral port — tests read the bound port back.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -28,22 +35,31 @@
 #include "util/json.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer_wheel.hpp"
+
+struct epoll_event;  // <sys/epoll.h> — kept out of this header
 
 namespace mcb {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
-/// Tuning knobs for the connection executor. The defaults are sized for
-/// the test/demo deployments; production front-ends raise worker_threads
-/// and max_pending together.
+/// Tuning knobs for the reactor + handler pool. The defaults are sized
+/// for the test/demo deployments; production front-ends raise
+/// worker_threads, max_pending and max_connections together.
 struct ServerConfig {
-  std::size_t worker_threads = 8;     ///< fixed pool size (>= 1)
-  std::size_t max_pending = 64;       ///< queued connections beyond busy workers
-  int recv_timeout_ms = 5000;         ///< per-recv idle timeout (SO_RCVTIMEO)
-  int send_timeout_ms = 5000;         ///< per-send stall timeout (SO_SNDTIMEO)
-  int request_deadline_ms = 10000;    ///< whole-request wall-clock budget
+  std::size_t worker_threads = 8;     ///< handler pool size (>= 1)
+  std::size_t max_pending = 64;       ///< queued requests beyond busy workers
+  int recv_timeout_ms = 5000;         ///< idle timeout between received bytes (<=0: none)
+  int send_timeout_ms = 5000;         ///< response write-stall budget (<=0: none)
+  int request_deadline_ms = 10000;    ///< whole-request receive budget (<=0: none)
   int drain_timeout_ms = 2000;        ///< stop(): budget to drain in-flight work
   std::size_t max_request_bytes = 16 * 1024 * 1024;  ///< 413 beyond this
+  /// listen() backlog. The kernel clamps this to net.core.somaxconn —
+  /// start() logs the effective value so a 10k-connection deployment
+  /// can see the clamp instead of debugging mysterious SYN drops.
+  int listen_backlog = 4096;
+  /// Concurrent-connection cap; accepts beyond it are shed with a 503.
+  std::size_t max_connections = 32768;
 };
 
 /// Server-side observability counters, exported as JSON by GET /metrics
@@ -55,7 +71,7 @@ class ServerStats : public obs::Collector {
  public:
   std::atomic<std::uint64_t> accepted{0};       ///< sockets accept()ed
   std::atomic<std::uint64_t> handled{0};        ///< responses fully written
-  std::atomic<std::uint64_t> rejected{0};       ///< shed with 503 (queue full / draining)
+  std::atomic<std::uint64_t> rejected{0};       ///< shed with 503 (pool full / draining)
   std::atomic<std::uint64_t> timed_out{0};      ///< cut off at a deadline (408)
   std::atomic<std::uint64_t> malformed{0};      ///< unparsable / bad framing (400, 413)
 
@@ -100,14 +116,15 @@ class HttpServer {
   /// start(); the routing table is read-only while serving.
   void route(const std::string& method, const std::string& path, HttpHandler handler);
 
-  /// Bind + listen + spawn the worker pool and accept loop. Returns
+  /// Bind + listen + spawn the handler pool and reactor thread. Returns
   /// false on bind failure. Thread-safe to call once per stop() cycle.
   bool start(int port);
 
-  /// Graceful shutdown: stop accepting, drain in-flight connections for
-  /// up to config().drain_timeout_ms, force-close stragglers, join the
-  /// pool. Bounded: returns within roughly the drain budget plus one
-  /// socket timeout even with hung clients attached.
+  /// Graceful shutdown: stop accepting, close idle keep-alive
+  /// connections, drain in-flight requests for up to
+  /// config().drain_timeout_ms, force-close stragglers, join the pool.
+  /// Bounded: returns within roughly the drain budget plus the longest
+  /// in-flight handler even with hung clients attached.
   void stop();
 
   bool is_running() const noexcept { return running_.load(); }
@@ -115,13 +132,17 @@ class HttpServer {
   const ServerConfig& config() const noexcept { return config_; }
   ServerStats& stats() noexcept { return stats_; }
 
+  /// The backlog listen() actually got: config().listen_backlog clamped
+  /// to the kernel's net.core.somaxconn. Valid after start().
+  int effective_backlog() const noexcept { return effective_backlog_; }
+
   /// Request tracer: per-stage latency histograms + flight recorder.
   /// Every socket request gets a trace; dispatch() adopts/echoes
   /// X-Request-Id through it.
   obs::RequestTracer& tracer() noexcept { return tracer_; }
   const obs::RequestTracer& tracer() const noexcept { return tracer_; }
 
-  /// Connections currently being served (racy snapshot, for /metrics).
+  /// Connections currently open (racy snapshot, for /metrics).
   std::size_t active_connections() const;
 
   /// Dispatch a request through the routing table without any sockets
@@ -129,32 +150,95 @@ class HttpServer {
   /// stats exactly like the socket path.
   HttpResponse dispatch(const HttpRequest& request) const;
 
-  /// The /metrics payload: executor state + ServerStats snapshot.
+  /// The /metrics payload: reactor + pool state + ServerStats snapshot.
   Json stats_json() const;
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
+  struct Connection;  // per-connection state machine (server.cpp)
+
+  /// A finished handler's output, posted from a pool worker back to the
+  /// reactor through the completion queue + eventfd wake.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string wire;          ///< serialized response bytes
+    bool keep_alive = false;   ///< connection survives after the response
+    bool dispatched = false;   ///< counts toward `handled` once flushed
+  };
+
+  /// One request in flight on the handler pool. Self-contained — owns
+  /// the raw bytes and the trace — so the reactor may destroy the
+  /// Connection while the handler is still running (the completion is
+  /// then simply dropped).
+  struct PendingRequest {
+    std::uint64_t conn_id = 0;
+    std::string raw;
+    obs::TraceContext trace;
+  };
+
+  void reactor_loop();
+  void reactor_tick(const epoll_event* events, int n_events);
+  void handle_event(Connection* conn, std::uint32_t events);
+  void handle_accepts();
+  void pump_input(Connection* conn);
+  void drain_input(Connection* conn);
+  void process_inbuf(Connection* conn);
+  void dispatch_request(Connection* conn, std::size_t wire_len);
+  void run_handler(PendingRequest& pending);
+  void wake_reactor() const;
+  void consume_wake() const;
+  void enqueue_response(Connection* conn, std::string_view wire, bool count_handled);
+  void flush_output(Connection* conn);
+  void fail_request(Connection* conn, const HttpResponse& response,
+                    const char* route_key);
+  void finish_abandoned(Connection* conn);
+  void close_connection(Connection* conn);
+  void destroy_closed();
+  void arm_timer(Connection* conn);
+  std::uint64_t connection_deadline(const Connection* conn) const;
+  void on_timer(std::uint64_t id);
+  void expire_timers();
+  void drain_completions();
+  void begin_drain();
+  void force_close_all();
+  void update_epoll(Connection* conn, bool want_write);
+  std::uint64_t now_ms() const;
+  Connection* find_connection(std::uint64_t id);
 
   ServerConfig config_;
   std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completion + stop wake-ups
   int port_ = 0;
-  std::thread accept_thread_;
+  int effective_backlog_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};  ///< reactor time base
+  std::thread reactor_thread_;
   std::unique_ptr<ThreadPool> pool_;
 
+  // Reactor-private state. Connection *contents* are only ever touched
+  // by the reactor thread; the table itself is mutex-guarded because
+  // active_connections() snapshots its size from other threads.
   mutable Mutex conn_mutex_;
-  CondVar drain_cv_;  // signalled when active_fds_ empties
-  std::unordered_set<int> active_fds_ MCB_GUARDED_BY(conn_mutex_);
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_
+      MCB_GUARDED_BY(conn_mutex_);
+  std::uint64_t next_conn_id_ = 0;  ///< reactor-only; never reused
+  TimerWheel wheel_;                ///< reactor-only
+  std::vector<std::uint64_t> expired_scratch_;          ///< reactor-only
+  std::vector<std::unique_ptr<Connection>> closed_scratch_;  ///< deferred frees
+  bool draining_ = false;           ///< reactor-only: stop() observed
+  std::uint64_t drain_deadline_ms_ = 0;  ///< reactor-only
+
+  mutable Mutex completion_mutex_;
+  std::vector<Completion> completions_ MCB_GUARDED_BY(completion_mutex_);
 
   mutable ServerStats stats_;
   mutable obs::RequestTracer tracer_;
 };
 
-/// Blocking loopback HTTP client for tests/examples: send one request to
-/// 127.0.0.1:port and return the parsed response body + status. Returns
-/// false on connection failure.
+/// Blocking loopback HTTP client for tests/examples: send one request
+/// (Connection: close) to 127.0.0.1:port and return the parsed response
+/// body + status. Returns false on connection failure.
 bool http_request(int port, const std::string& method, const std::string& path,
                   const std::string& body, int& status_out, std::string& body_out);
 

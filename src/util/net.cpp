@@ -1,0 +1,46 @@
+#include "util/net.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace mcb {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int somaxconn() {
+  std::ifstream in("/proc/sys/net/core/somaxconn");
+  std::string line;
+  if (in && std::getline(in, line)) {
+    std::int64_t value = 0;
+    if (parse_i64(trim(line), value) && value > 0) {
+      return static_cast<int>(std::min<std::int64_t>(value, 1 << 20));
+    }
+  }
+  return 4096;
+}
+
+std::uint64_t raise_nofile_limit(std::uint64_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur >= want) return lim.rlim_cur;
+  rlimit raised = lim;
+  raised.rlim_cur = (lim.rlim_max == RLIM_INFINITY)
+                        ? want
+                        : std::min<std::uint64_t>(want, lim.rlim_max);
+  if (raised.rlim_cur > lim.rlim_cur && ::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+    return raised.rlim_cur;
+  }
+  return lim.rlim_cur;
+}
+
+}  // namespace mcb

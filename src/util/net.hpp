@@ -1,0 +1,28 @@
+// Small file-descriptor and socket helpers shared by the serving
+// reactor (src/serve) and the load generator (tools/mcbound_loadgen).
+// Pure syscall wrappers — no protocol knowledge lives here.
+#pragma once
+
+#include <cstdint>
+
+namespace mcb {
+
+/// Put `fd` into non-blocking mode (O_NONBLOCK via fcntl). Returns
+/// false when fcntl fails (bad fd).
+bool set_nonblocking(int fd);
+
+/// The kernel's listen-backlog cap (/proc/sys/net/core/somaxconn).
+/// `::listen()` silently clamps its backlog argument to this, so a
+/// server sized for 10k connections must surface the clamp instead of
+/// pretending the configured backlog took effect. Falls back to the
+/// historical default of 4096 when the proc file is unreadable.
+int somaxconn();
+
+/// Raise RLIMIT_NOFILE's soft limit toward `want` (clamped to the hard
+/// limit). Returns the resulting soft limit; on any failure returns the
+/// current soft limit unchanged. High-connection-count tools call this
+/// before opening sockets so a default 1024 soft limit does not turn a
+/// 10k-connection run into EMFILE noise.
+std::uint64_t raise_nofile_limit(std::uint64_t want);
+
+}  // namespace mcb

@@ -1,0 +1,39 @@
+#include "util/timer_wheel.hpp"
+
+namespace mcb {
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t slots)
+    : slots_(slots == 0 ? 1 : slots), tick_ms_(tick_ms == 0 ? 1 : tick_ms) {}
+
+void TimerWheel::schedule(std::uint64_t id, std::uint64_t delay_ms) {
+  // Round up: a deadline inside the current tick must not fire a tick
+  // early, and a zero delay still waits for the next advance.
+  std::uint64_t ticks = (delay_ms + tick_ms_ - 1) / tick_ms_;
+  if (ticks == 0) ticks = 1;
+  const std::uint64_t due = current_tick_ + ticks;
+  slots_[due % slots_.size()].push_back({id, due});
+  ++armed_;
+}
+
+void TimerWheel::advance(std::uint64_t now_ms, std::vector<std::uint64_t>& expired) {
+  const std::uint64_t target_tick = now_ms / tick_ms_;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    std::vector<Entry>& slot = slots_[current_tick_ % slots_.size()];
+    // Swap-erase entries due this lap; later-lap entries stay parked in
+    // the slot and are reconsidered when the wheel comes round again.
+    std::size_t i = 0;
+    while (i < slot.size()) {
+      if (slot[i].due_tick <= current_tick_) {
+        expired.push_back(slot[i].id);
+        slot[i] = slot.back();
+        slot.pop_back();
+        --armed_;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace mcb

@@ -1,0 +1,60 @@
+// Hashed timer wheel for coarse connection deadlines (DESIGN.md §6).
+// The serving reactor needs tens of thousands of concurrently armed
+// idle/request/write-stall deadlines; a per-deadline priority queue
+// would cost O(log n) per re-arm and churn on every byte received. The
+// wheel makes schedule and expiry O(1) amortized at the price of tick
+// granularity, which is fine for deadlines measured in hundreds of
+// milliseconds.
+//
+// Cancellation is lazy: there is no cancel() — the owner keeps the
+// authoritative deadline itself, treats a fire as a wake-up, re-checks
+// the real deadline, and either acts or re-schedules. Ids whose owner
+// has disappeared simply fire once and are ignored. To keep the entry
+// population bounded the caller must keep at most one live entry per id
+// (schedule again only after the previous entry fired).
+//
+// Single-threaded by design: the reactor owns the wheel; no locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcb {
+
+class TimerWheel {
+ public:
+  /// `tick_ms` is the expiry granularity; `slots` the wheel
+  /// circumference. Delays beyond tick_ms * slots are carried across
+  /// laps (entries re-examined once per lap, not per tick).
+  explicit TimerWheel(std::uint64_t tick_ms = 10, std::size_t slots = 256);
+
+  /// Arm `id` to fire `delay_ms` after the wheel's current time (the
+  /// `now_ms` of the last advance). Rounded up to a whole tick and at
+  /// least one tick into the future, so a zero delay fires on the next
+  /// advance, never immediately.
+  void schedule(std::uint64_t id, std::uint64_t delay_ms);
+
+  /// Move time forward to the absolute `now_ms` and append every id
+  /// whose tick has come to `expired` (fire order across different
+  /// ticks is chronological; within one tick it is insertion order).
+  /// Time never goes backwards; a stale `now_ms` is a no-op.
+  void advance(std::uint64_t now_ms, std::vector<std::uint64_t>& expired);
+
+  std::uint64_t tick_ms() const noexcept { return tick_ms_; }
+  /// Entries currently armed (including not-yet-fired stale ones).
+  std::size_t armed() const noexcept { return armed_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t due_tick;
+  };
+
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t tick_ms_;
+  std::uint64_t current_tick_ = 0;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace mcb

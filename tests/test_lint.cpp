@@ -130,6 +130,46 @@ TEST(TextRules, RelaxedInStringIsNotAnAtomicOp) {
   EXPECT_TRUE(out.empty());
 }
 
+// ----------------------------------------------- R17 reactor confinement
+
+TEST(TextRules, SocketSyscallOutsideReactorIsR17) {
+  FileContext ctx("src/serve/api.cpp",
+                  scan_source("void f(int fd) {\n"
+                              "  char b[8];\n"
+                              "  ::recv(fd, b, sizeof(b), 0);\n"
+                              "  ::send(fd, b, sizeof(b), 0);\n"
+                              "}\n"));
+  std::vector<Violation> out;
+  check_reactor_syscall_confinement(ctx, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rule, "R17");
+  EXPECT_EQ(out[0].line, 3u);
+  EXPECT_EQ(out[1].line, 4u);
+}
+
+TEST(TextRules, MemberCallsAndIdentifiersAreNotSyscalls) {
+  // `queue.accept(...)` is a member call; `epoll_wait_count` is an
+  // identifier; `do_send` has the word only as a suffix. None may trip.
+  FileContext ctx("src/serve/api.cpp",
+                  scan_source("void f(Q& queue, int epoll_wait_count) {\n"
+                              "  queue.accept(1);\n"
+                              "  this->send(2);\n"
+                              "  do_send(epoll_wait_count);\n"
+                              "}\n"));
+  std::vector<Violation> out;
+  check_reactor_syscall_confinement(ctx, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TextRules, SyscallInStringOrCommentIsInert) {
+  FileContext ctx("src/serve/http.cpp",
+                  scan_source("// recv(fd) is the reactor's job\n"
+                              "const char* kDoc = \"connect(addr) then send()\";\n"));
+  std::vector<Violation> out;
+  check_reactor_syscall_confinement(ctx, out);
+  EXPECT_TRUE(out.empty());
+}
+
 // ------------------------------------------------------------- hot paths
 
 TEST(HotPath, AllocationThrowAndLockAreFlagged) {

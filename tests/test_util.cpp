@@ -15,12 +15,14 @@
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
 #include "util/json.hpp"
+#include "util/net.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time.hpp"
+#include "util/timer_wheel.hpp"
 
 namespace mcb {
 namespace {
@@ -794,6 +796,95 @@ TEST(ParallelFor, PropagatesExceptions) {
                         1),
       std::runtime_error);
   pool.wait_idle();
+}
+
+// ---------------------------------------------------------- TimerWheel
+
+TEST(TimerWheel, FiresAtOrAfterDeadline) {
+  TimerWheel wheel(10, 8);
+  wheel.schedule(1, 25);  // rounds up to 3 ticks = 30ms
+  std::vector<std::uint64_t> expired;
+  wheel.advance(20, expired);
+  EXPECT_TRUE(expired.empty());  // must not fire early
+  wheel.advance(30, expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, ZeroDelayFiresOnNextTick) {
+  TimerWheel wheel(10, 8);
+  wheel.schedule(7, 0);
+  std::vector<std::uint64_t> expired;
+  wheel.advance(0, expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.advance(10, expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 7u);
+}
+
+TEST(TimerWheel, LongDelayLapsTheWheelWithoutFiringEarly) {
+  // 8 slots * 10ms = one 80ms lap; a 200ms timer shares a slot with
+  // earlier laps and must stay parked until its own lap comes around.
+  TimerWheel wheel(10, 8);
+  wheel.schedule(1, 200);
+  wheel.schedule(2, 40);
+  std::vector<std::uint64_t> expired;
+  wheel.advance(40, expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 2u);
+  expired.clear();
+  wheel.advance(190, expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.advance(200, expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+}
+
+TEST(TimerWheel, ManyTimersAllFireExactlyOnce) {
+  TimerWheel wheel(10, 16);
+  constexpr std::uint64_t kCount = 500;
+  for (std::uint64_t id = 0; id < kCount; ++id) wheel.schedule(id, (id * 7) % 400);
+  EXPECT_EQ(wheel.armed(), kCount);
+  std::vector<std::uint64_t> all;
+  std::vector<std::uint64_t> expired;
+  for (std::uint64_t now = 0; now <= 500; now += 10) {
+    expired.clear();
+    wheel.advance(now, expired);
+    all.insert(all.end(), expired.begin(), expired.end());
+  }
+  EXPECT_EQ(all.size(), kCount);
+  EXPECT_EQ(std::set<std::uint64_t>(all.begin(), all.end()).size(), kCount);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, AdvanceIsIdempotentForPastTime) {
+  TimerWheel wheel(10, 8);
+  wheel.schedule(3, 50);
+  std::vector<std::uint64_t> expired;
+  wheel.advance(100, expired);
+  ASSERT_EQ(expired.size(), 1u);
+  expired.clear();
+  wheel.advance(100, expired);  // same timestamp again: nothing to do
+  wheel.advance(60, expired);   // time going backwards is ignored
+  EXPECT_TRUE(expired.empty());
+}
+
+// -------------------------------------------------------- net helpers
+
+TEST(Net, SomaxconnIsPositiveAndSane) {
+  const int value = somaxconn();
+  EXPECT_GT(value, 0);
+  EXPECT_LE(value, 1 << 20);
+}
+
+TEST(Net, RaiseNofileLimitNeverLowers) {
+  // Whatever the environment allows, the result must be at least the
+  // current soft limit and never exceed the hard limit semantics-wise
+  // (raise_nofile_limit only raises).
+  const std::uint64_t before = raise_nofile_limit(0);
+  const std::uint64_t after = raise_nofile_limit(before + 1024);
+  EXPECT_GE(after, before);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"R14", "no include cycles under src/"},
       {"R15", "suppressions and baseline entries must be well-formed and used"},
       {"R16", "MCB_HOT_PATH annotates definitions, not declarations"},
+      {"R17", "socket syscalls in src/serve stay confined to the reactor file"},
   };
   return kCatalog;
 }

@@ -54,6 +54,12 @@ bool may_write_streams_directly(const fs::path& p) {
   return p.filename() == "cli.cpp" && p.parent_path().filename() == "util";
 }
 
+// R17 applies to every src/serve file except the designated reactor /
+// syscall-wrapper file, which is the one place socket I/O may live.
+bool must_confine_socket_syscalls(const fs::path& p) {
+  return p.parent_path().filename() == "serve" && p.filename() != "server.cpp";
+}
+
 std::string rel_to(const fs::path& root, const fs::path& p) {
   std::error_code ec;
   const fs::path rel = fs::relative(p, root, ec);
@@ -112,6 +118,7 @@ LintResult run_lint(const LintOptions& options) {
     check_no_thread_detach(ctx, raw);
     check_relaxed_order_justified(ctx, raw);
     if (!may_write_streams_directly(path)) check_no_direct_stream_writes(ctx, raw);
+    if (must_confine_socket_syscalls(path)) check_reactor_syscall_confinement(ctx, raw);
     result.stats.hot_regions += check_hot_paths(ctx, raw);
 
     if (has_extension(path, ".hpp")) {

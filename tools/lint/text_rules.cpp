@@ -185,4 +185,34 @@ void check_pragma_once(const FileContext& ctx, std::vector<Violation>& out) {
   }
 }
 
+// ------------------------------------------------------------------ R17
+// The serving module's concurrency story depends on every socket syscall
+// living in the reactor file (src/serve/server.cpp), where non-blocking
+// setup, partial-I/O resumption and timer-wheel deadlines are enforced
+// in one place. A recv()/send() creeping into a handler or the HTTP
+// layer reintroduces blocking I/O the reactor cannot see. The driver
+// applies this only to src/serve files other than the designated
+// reactor file.
+void check_reactor_syscall_confinement(const FileContext& ctx, std::vector<Violation>& out) {
+  const std::string_view code = ctx.view.code;
+  static constexpr std::string_view kSyscalls[] = {
+      "accept", "accept4", "recv",   "recvfrom", "recvmsg",
+      "send",   "sendto",  "sendmsg", "connect",  "listen",
+      "bind",   "poll",    "select",  "epoll_wait", "epoll_ctl",
+      "socket", "shutdown"};
+  for (const auto word : kSyscalls) {
+    for (std::size_t pos = find_word(code, word, 0); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      if (!call_like(code, pos, word.size())) continue;
+      const char before = prev_nonspace(code, pos);
+      if (before == '.' || before == '>') continue;  // member call, not a syscall
+      ctx.add(pos, "R17",
+              "socket syscall `" + std::string(word) +
+                  "()` outside the reactor — all socket I/O in src/serve lives in "
+                  "server.cpp so blocking behavior stays impossible by construction",
+              out);
+    }
+  }
+}
+
 }  // namespace mcb::lint

@@ -20,5 +20,6 @@ void check_no_thread_detach(const FileContext& ctx, std::vector<Violation>& out)
 void check_relaxed_order_justified(const FileContext& ctx, std::vector<Violation>& out);
 void check_no_direct_stream_writes(const FileContext& ctx, std::vector<Violation>& out);
 void check_pragma_once(const FileContext& ctx, std::vector<Violation>& out);
+void check_reactor_syscall_confinement(const FileContext& ctx, std::vector<Violation>& out);
 
 }  // namespace mcb::lint

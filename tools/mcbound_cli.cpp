@@ -23,6 +23,7 @@
 #include "roofline/extended.hpp"
 #include "serve/api.hpp"
 #include "util/cli.hpp"
+#include "util/net.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
@@ -39,7 +40,8 @@ constexpr const char* kUsage =
     "               [--theta N --sampling latest|random]\n"
     "  serve        --trace FILE [--port P] [--alpha A] [--model knn|rf]\n"
     "               [--http-threads N] [--http-queue N] [--timeout-ms MS]\n"
-    "               [--drain-ms MS] [--log-level debug|info|warn|error|off]\n"
+    "               [--drain-ms MS] [--http-backlog N] [--max-conns N]\n"
+    "               [--log-level debug|info|warn|error|off]\n"
     "               [--log-json true|false]\n";
 
 bool load_trace(const CliFlags& flags, JobStore& store) {
@@ -199,6 +201,13 @@ int cmd_serve(const CliFlags& flags) {
   server.recv_timeout_ms = std::min(server.recv_timeout_ms, timeout_ms);
   server.send_timeout_ms = std::min(server.send_timeout_ms, timeout_ms);
   server.drain_timeout_ms = static_cast<int>(flags.get_int("drain-ms", server.drain_timeout_ms));
+  server.listen_backlog =
+      static_cast<int>(flags.get_int("http-backlog", server.listen_backlog));
+  server.max_connections = static_cast<std::size_t>(flags.get_int(
+      "max-conns", static_cast<std::int64_t>(server.max_connections)));
+  // A 10k-connection load test needs more than the usual 1024 soft
+  // limit; raise it toward the hard limit before the listener opens.
+  const std::uint64_t nofile = raise_nofile_limit(server.max_connections + 256);
 
   static Framework framework(config, store);
   static ApiServer api(framework, server);
@@ -211,6 +220,10 @@ int cmd_serve(const CliFlags& flags) {
               framework.model_name().c_str(), config.alpha_days);
   std::printf("executor: %zu workers, %zu pending, %d ms request deadline\n",
               server.worker_threads, server.max_pending, server.request_deadline_ms);
+  std::printf("reactor: backlog %d (effective %d after somaxconn), %zu max "
+              "connections, %llu fd soft limit\n",
+              server.listen_backlog, api.server().effective_backlog(),
+              server.max_connections, static_cast<unsigned long long>(nofile));
   std::printf("POST /train to build the first model version; GET /metrics for\n"
               "server-side counters and latency (add ?format=prometheus for the\n"
               "text exposition); GET /healthz, /readyz, /debug/requests for\n"
@@ -230,7 +243,7 @@ int main(int argc, char** argv) {
       argc - 1, argv + 1,
       {"out", "trace", "jobs-per-day", "seed", "extended", "model", "alpha", "beta",
        "theta", "sampling", "port", "registry", "http-threads", "http-queue",
-       "timeout-ms", "drain-ms", "log-level", "log-json"},
+       "timeout-ms", "drain-ms", "http-backlog", "max-conns", "log-level", "log-json"},
       kUsage);
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;

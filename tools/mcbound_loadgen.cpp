@@ -1,0 +1,562 @@
+// mcbound_loadgen — self-contained wrk-style HTTP load generator for the
+// epoll serving core (DESIGN.md §6). One epoll loop drives a target
+// number of concurrent non-blocking connections against a local
+// mcbound serve instance, with keep-alive reuse and optional HTTP/1.1
+// pipelining, and reports throughput, latency quantiles (p50/p90/p99)
+// and an exact accounting of every request outcome (2xx, 503 shed, 408
+// timeout, other status, dropped-by-transport) so the CI gate can prove
+// the server sheds explicitly instead of silently dropping work.
+//
+//   mcbound_loadgen --port P [--connections N] [--duration-s S]
+//                   [--pipeline D] [--keepalive true|false]
+//                   [--path /healthz] [--think-ms MS]
+//                   [--json BENCH_serve.json] [--metric-prefix pipe_]
+//
+// --think-ms paces each connection (wait after a full round of
+// responses before sending the next) so N idle-ish keep-alive
+// connections can be held open without saturating a small runner.
+// --json writes/merges an mcb-bench-v1 artifact for tools/bench_check;
+// --metric-prefix lets a second leg (e.g. pipelined) merge its metrics
+// into the same artifact under distinct names.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/net.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using mcb::CliFlags;
+using mcb::Histogram;
+using mcb::Json;
+
+std::uint64_t now_us(Clock::time_point epoch) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch)
+          .count());
+}
+
+/// One load connection. States: connecting (EPOLLOUT pending), active
+/// (requests in flight), thinking (parked until next_send_us). A
+/// transport error or server close mid-flight counts every outstanding
+/// request as dropped — the metric the CI gate pins to zero.
+struct LoadConn {
+  int fd = -1;
+  bool connecting = false;
+  bool want_write = false;
+  std::string inbuf;
+  std::string outbuf;   ///< unsent request bytes
+  std::size_t out_off = 0;
+  std::deque<std::uint64_t> sent_at_us;  ///< per in-flight request (FIFO)
+  std::uint64_t next_send_us = 0;        ///< think-time pacing deadline
+  bool parked = false;                   ///< waiting on next_send_us
+};
+
+struct Totals {
+  std::uint64_t sent = 0;
+  std::uint64_t ok_2xx = 0;
+  std::uint64_t shed_503 = 0;
+  std::uint64_t timeout_408 = 0;
+  std::uint64_t other_status = 0;
+  std::uint64_t dropped = 0;       ///< in-flight when the transport died
+  std::uint64_t conn_errors = 0;   ///< failed connect() attempts
+  std::uint64_t reconnects = 0;
+};
+
+struct Options {
+  int port = 0;
+  std::size_t connections = 100;
+  double duration_s = 10.0;
+  std::size_t pipeline = 1;
+  bool keepalive = true;
+  std::string path = "/healthz";
+  std::uint64_t think_ms = 0;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(const Options& options)
+      : options_(options), epoch_(Clock::now()), latency_log10_us_(0.0, 8.0, 64) {}
+
+  bool run() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      std::perror("epoll_create1");
+      return false;
+    }
+    conns_.resize(options_.connections);
+
+    const std::uint64_t deadline_us =
+        static_cast<std::uint64_t>(options_.duration_s * 1e6);
+    std::vector<epoll_event> events(512);
+
+    std::size_t next_to_open = 0;
+    while (now_us(epoch_) < deadline_us) {
+      // Ramp connects in bounded batches so 10k SYNs do not land on the
+      // listener in one burst; refill as earlier connects resolve.
+      while (next_to_open < conns_.size() && pending_connects_ < kConnectBatch) {
+        open_connection(conns_[next_to_open]);
+        ++next_to_open;
+      }
+      unpark_due();
+      const int timeout_ms = next_timeout_ms(deadline_us);
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::perror("epoll_wait");
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        auto* conn = static_cast<LoadConn*>(events[i].data.ptr);
+        if (conn->fd < 0) continue;  // closed earlier in this batch
+        handle_event(*conn, events[i].events);
+      }
+    }
+    finished_us_ = now_us(epoch_);
+    for (LoadConn& conn : conns_) {
+      if (conn.fd >= 0) {
+        // Graceful end of test: in-flight requests at shutdown are not
+        // drops — the server never got a chance to answer them.
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    ::close(epoll_fd_);
+    return true;
+  }
+
+  const Totals& totals() const { return totals_; }
+  std::size_t peak_connections() const { return peak_established_; }
+  double duration_s() const { return static_cast<double>(finished_us_) / 1e6; }
+
+  std::uint64_t responses() const {
+    return totals_.ok_2xx + totals_.shed_503 + totals_.timeout_408 +
+           totals_.other_status;
+  }
+
+  double quantile_ms(double q) const {
+    return std::pow(10.0, latency_log10_us_.quantile(q)) / 1000.0;
+  }
+
+  /// Fraction of finished requests with an explicit, expected outcome
+  /// (2xx, 503 shed, 408 deadline). Anything else — unexplained status
+  /// or a request that died with its transport — is unaccounted.
+  double accounted_fraction() const {
+    const std::uint64_t finished = responses() + totals_.dropped;
+    if (finished == 0) return 1.0;
+    const std::uint64_t accounted =
+        totals_.ok_2xx + totals_.shed_503 + totals_.timeout_408;
+    return static_cast<double>(accounted) / static_cast<double>(finished);
+  }
+
+  double ok_fraction() const {
+    const std::uint64_t finished = responses() + totals_.dropped;
+    if (finished == 0) return 1.0;
+    return static_cast<double>(totals_.ok_2xx) / static_cast<double>(finished);
+  }
+
+ private:
+  static constexpr std::size_t kConnectBatch = 512;
+
+  void open_connection(LoadConn& conn) {
+    conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (conn.fd < 0) {
+      ++totals_.conn_errors;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    const int rc = ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ++totals_.conn_errors;
+      ::close(conn.fd);
+      conn.fd = -1;
+      return;
+    }
+    conn.connecting = rc != 0;
+    conn.want_write = true;  // EPOLLOUT signals connect completion
+    conn.inbuf.clear();
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    conn.sent_at_us.clear();
+    conn.parked = false;
+    if (conn.connecting) ++pending_connects_;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP;
+    ev.data.ptr = &conn;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev);
+    if (!conn.connecting) on_connected(conn);
+  }
+
+  void on_connected(LoadConn& conn) {
+    ++established_;
+    peak_established_ = std::max(peak_established_, established_);
+    queue_requests(conn);
+  }
+
+  /// Build a full pipeline round of requests into the output buffer.
+  void queue_requests(LoadConn& conn) {
+    const std::uint64_t now = now_us(epoch_);
+    for (std::size_t i = 0; i < options_.pipeline; ++i) {
+      conn.outbuf += "GET ";
+      conn.outbuf += options_.path;
+      conn.outbuf += " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+      conn.outbuf += options_.keepalive ? "Connection: keep-alive\r\n\r\n"
+                                        : "Connection: close\r\n\r\n";
+      conn.sent_at_us.push_back(now);
+      ++totals_.sent;
+      if (!options_.keepalive) break;  // one request per connection
+    }
+    flush(conn);
+  }
+
+  void handle_event(LoadConn& conn, std::uint32_t events) {
+    if (conn.connecting) {
+      --pending_connects_;
+      conn.connecting = false;
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if ((events & (EPOLLERR | EPOLLHUP)) != 0 || err != 0) {
+        ++totals_.conn_errors;
+        reset_connection(conn, /*established=*/false);
+        return;
+      }
+      on_connected(conn);
+      if (conn.fd < 0) return;
+    }
+    if ((events & EPOLLERR) != 0) {
+      drop_in_flight(conn);
+      reset_connection(conn, /*established=*/true);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) flush(conn);
+    if (conn.fd < 0) return;
+    if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) read_responses(conn);
+  }
+
+  void flush(LoadConn& conn) {
+    while (conn.out_off < conn.outbuf.size()) {
+      const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          set_want_write(conn, true);
+          return;
+        }
+        drop_in_flight(conn);
+        reset_connection(conn, /*established=*/true);
+        return;
+      }
+      conn.out_off += static_cast<std::size_t>(n);
+    }
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    set_want_write(conn, false);
+  }
+
+  void read_responses(LoadConn& conn) {
+    char buffer[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        drop_in_flight(conn);
+        reset_connection(conn, /*established=*/true);
+        return;
+      }
+      if (n == 0) {  // server closed (Connection: close, shed, or drain)
+        conn.inbuf.append(buffer, 0);
+        consume_responses(conn);
+        drop_in_flight(conn);
+        reset_connection(conn, /*established=*/true);
+        return;
+      }
+      conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+    }
+    consume_responses(conn);
+    if (conn.fd >= 0 && conn.sent_at_us.empty() && conn.outbuf.empty()) {
+      schedule_next_round(conn);
+    }
+  }
+
+  /// Pop every complete response off the buffer, classify its status,
+  /// and record first-byte-to-full-response latency for its request.
+  void consume_responses(LoadConn& conn) {
+    for (;;) {
+      const std::size_t head_end = conn.inbuf.find("\r\n\r\n");
+      if (head_end == std::string::npos) return;
+      const std::string_view head = std::string_view(conn.inbuf).substr(0, head_end);
+      std::size_t body_len = 0;
+      const std::size_t cl = mcb::ifind(head, "content-length:");
+      if (cl != std::string_view::npos) {
+        std::size_t value_end = head.find("\r\n", cl);
+        if (value_end == std::string_view::npos) value_end = head.size();
+        std::uint64_t parsed = 0;
+        if (mcb::parse_u64(mcb::trim(head.substr(cl + 15, value_end - cl - 15)), parsed)) {
+          body_len = static_cast<std::size_t>(parsed);
+        }
+      }
+      const std::size_t total = head_end + 4 + body_len;
+      if (conn.inbuf.size() < total) return;
+
+      int status = 0;
+      const std::size_t sp = head.find(' ');
+      if (sp != std::string_view::npos) {
+        std::int64_t parsed = 0;
+        std::string_view code = head.substr(sp + 1);
+        const std::size_t code_end = code.find(' ');
+        if (code_end != std::string_view::npos) code = code.substr(0, code_end);
+        if (mcb::parse_i64(code, parsed)) status = static_cast<int>(parsed);
+      }
+      record_status(status);
+      if (!conn.sent_at_us.empty()) {
+        const std::uint64_t elapsed = now_us(epoch_) - conn.sent_at_us.front();
+        conn.sent_at_us.pop_front();
+        latency_log10_us_.add(std::log10(std::max<double>(elapsed, 1.0)));
+      }
+      conn.inbuf.erase(0, total);
+    }
+  }
+
+  void record_status(int status) {
+    if (status >= 200 && status < 300) {
+      ++totals_.ok_2xx;
+    } else if (status == 503) {
+      ++totals_.shed_503;
+    } else if (status == 408) {
+      ++totals_.timeout_408;
+    } else {
+      ++totals_.other_status;
+    }
+  }
+
+  void schedule_next_round(LoadConn& conn) {
+    if (!options_.keepalive) return;  // server closes; reconnect path refills
+    if (options_.think_ms == 0) {
+      queue_requests(conn);
+      return;
+    }
+    conn.parked = true;
+    conn.next_send_us = now_us(epoch_) + options_.think_ms * 1000;
+    parked_.push_back(&conn);  // constant think time => FIFO order holds
+  }
+
+  void unpark_due() {
+    const std::uint64_t now = now_us(epoch_);
+    while (!parked_.empty() && parked_.front()->next_send_us <= now) {
+      LoadConn* conn = parked_.front();
+      parked_.pop_front();
+      if (!conn->parked || conn->fd < 0) continue;  // reset while parked
+      conn->parked = false;
+      queue_requests(*conn);
+    }
+  }
+
+  int next_timeout_ms(std::uint64_t deadline_us) const {
+    const std::uint64_t now = now_us(epoch_);
+    std::uint64_t next = deadline_us;
+    if (!parked_.empty()) next = std::min(next, parked_.front()->next_send_us);
+    if (next <= now) return 0;
+    return static_cast<int>(std::min<std::uint64_t>((next - now) / 1000 + 1, 100));
+  }
+
+  void drop_in_flight(LoadConn& conn) {
+    totals_.dropped += conn.sent_at_us.size();
+    conn.sent_at_us.clear();
+  }
+
+  void reset_connection(LoadConn& conn, bool established) {
+    if (conn.fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+    if (established && established_ > 0) --established_;
+    conn.parked = false;
+    // Keep the target concurrency: reopen immediately (the non-keepalive
+    // mode lives off this path — every response closes the connection).
+    ++totals_.reconnects;
+    open_connection(conn);
+  }
+
+  void set_want_write(LoadConn& conn, bool want) {
+    if (conn.want_write == want) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | (want ? EPOLLOUT : 0U);
+    ev.data.ptr = &conn;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  Options options_;
+  Clock::time_point epoch_;
+  int epoll_fd_ = -1;
+  std::vector<LoadConn> conns_;
+  std::deque<LoadConn*> parked_;
+  std::size_t pending_connects_ = 0;
+  std::size_t established_ = 0;
+  std::size_t peak_established_ = 0;
+  std::uint64_t finished_us_ = 0;
+  Totals totals_;
+  Histogram latency_log10_us_;
+};
+
+/// Write (or merge into) an mcb-bench-v1 artifact. Merging lets two
+/// loadgen legs — keep-alive fan-out and pipelined burst — share one
+/// BENCH_serve.json checked by a single bench_check invocation.
+bool write_artifact(const std::string& path, const std::string& prefix,
+                    const std::vector<std::pair<std::string, double>>& metrics) {
+  Json existing_metrics = Json::object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const auto parsed = Json::parse(buffer.str());
+      if (parsed.has_value() && (*parsed)["schema"].as_string() == "mcb-bench-v1") {
+        existing_metrics = (*parsed)["metrics"];
+      }
+    }
+  }
+  for (const auto& [name, value] : metrics) {
+    existing_metrics.set(prefix + name, value);
+  }
+  Json out = Json::object();
+  out.set("schema", "mcb-bench-v1");
+  out.set("bench", "serve_loadgen");
+  out.set("metrics", existing_metrics);
+  std::ofstream file(path);
+  if (!file) return false;
+  file << out.pretty() << '\n';
+  return file.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: mcbound_loadgen --port P [--connections N] [--duration-s S]\n"
+      "                       [--pipeline D] [--keepalive true|false]\n"
+      "                       [--path /healthz] [--think-ms MS]\n"
+      "                       [--json FILE] [--metric-prefix PFX]\n";
+  const auto flags = CliFlags::parse(
+      argc, argv,
+      {"port", "connections", "duration-s", "pipeline", "keepalive", "path",
+       "think-ms", "json", "metric-prefix"},
+      usage);
+  if (!flags.has_value()) return 2;
+  if (flags->help_requested()) return 0;
+
+  Options options;
+  options.port = static_cast<int>(flags->get_int("port", 0));
+  options.connections = static_cast<std::size_t>(flags->get_int("connections", 100));
+  options.duration_s = flags->get_double("duration-s", 10.0);
+  options.pipeline = static_cast<std::size_t>(flags->get_int("pipeline", 1));
+  options.keepalive = flags->get_bool("keepalive", true);
+  options.path = flags->get("path", "/healthz");
+  options.think_ms = static_cast<std::uint64_t>(flags->get_int("think-ms", 0));
+  if (options.port <= 0) {
+    std::fprintf(stderr, "--port is required\n%s", usage.c_str());
+    return 2;
+  }
+  if (options.pipeline == 0) options.pipeline = 1;
+
+  // Each connection is one fd, plus epoll/std streams; raise the soft
+  // limit or a 10k-connection run dies at the default 1024.
+  const std::uint64_t nofile = mcb::raise_nofile_limit(options.connections + 64);
+  if (nofile < options.connections + 8) {
+    std::fprintf(stderr,
+                 "warning: fd soft limit %llu < connections %zu + slack; "
+                 "expect connect errors\n",
+                 static_cast<unsigned long long>(nofile), options.connections);
+  }
+
+  std::printf("mcbound_loadgen: %zu connections -> 127.0.0.1:%d%s, %.1fs, "
+              "pipeline %zu, keepalive %s, think %llums\n",
+              options.connections, options.port, options.path.c_str(),
+              options.duration_s, options.pipeline,
+              options.keepalive ? "on" : "off",
+              static_cast<unsigned long long>(options.think_ms));
+
+  LoadGen gen(options);
+  if (!gen.run()) return 1;
+
+  const Totals& totals = gen.totals();
+  const double duration = std::max(gen.duration_s(), 1e-9);
+  const double rps = static_cast<double>(gen.responses()) / duration;
+  const double p50 = gen.quantile_ms(0.50);
+  const double p90 = gen.quantile_ms(0.90);
+  const double p99 = gen.quantile_ms(0.99);
+
+  std::printf("\nresults over %.2fs:\n", duration);
+  std::printf("  peak connections   %zu\n", gen.peak_connections());
+  std::printf("  requests sent      %llu\n", static_cast<unsigned long long>(totals.sent));
+  std::printf("  responses          %llu (%.0f rps)\n",
+              static_cast<unsigned long long>(gen.responses()), rps);
+  std::printf("  latency ms         p50 %.3f  p90 %.3f  p99 %.3f\n", p50, p90, p99);
+  std::printf("  2xx                %llu\n", static_cast<unsigned long long>(totals.ok_2xx));
+  std::printf("  503 shed           %llu\n", static_cast<unsigned long long>(totals.shed_503));
+  std::printf("  408 timeout        %llu\n",
+              static_cast<unsigned long long>(totals.timeout_408));
+  std::printf("  other status       %llu\n",
+              static_cast<unsigned long long>(totals.other_status));
+  std::printf("  dropped in flight  %llu\n", static_cast<unsigned long long>(totals.dropped));
+  std::printf("  connect errors     %llu (reconnects %llu)\n",
+              static_cast<unsigned long long>(totals.conn_errors),
+              static_cast<unsigned long long>(totals.reconnects));
+  std::printf("  accounted fraction %.6f\n", gen.accounted_fraction());
+  std::printf("  ok fraction        %.6f\n", gen.ok_fraction());
+
+  const std::string json_path = flags->get("json", "");
+  if (!json_path.empty()) {
+    const std::string prefix = flags->get("metric-prefix", "");
+    const std::vector<std::pair<std::string, double>> metrics = {
+        {"throughput_rps", rps},
+        {"p50_ms", p50},
+        {"p90_ms", p90},
+        {"p99_ms", p99},
+        {"peak_connections", static_cast<double>(gen.peak_connections())},
+        {"accounted_fraction", gen.accounted_fraction()},
+        {"ok_fraction", gen.ok_fraction()},
+    };
+    if (!write_artifact(json_path, prefix, metrics)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (prefix '%s')\n", json_path.c_str(), prefix.c_str());
+  }
+
+  // Exit non-zero on unaccounted outcomes so even a gate-less run fails
+  // loudly when the server silently drops requests.
+  return gen.accounted_fraction() >= 0.999999 ? 0 : 1;
+}
