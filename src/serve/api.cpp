@@ -292,7 +292,8 @@ HttpResponse ApiServer::handle_debug_requests(const HttpRequest& request) {
   for (const auto& pair : split(request.query, '&')) {
     const auto eq = pair.find('=');
     if (eq != std::string::npos && pair.substr(0, eq) == "limit") {
-      parse_i64(pair.substr(eq + 1), limit);
+      std::int64_t parsed = 0;
+      if (parse_i64(pair.substr(eq + 1), parsed)) limit = parsed;
     }
   }
   if (limit < 1) limit = 1;

@@ -86,10 +86,12 @@ std::optional<HttpRequest> parse_http_request(std::string_view raw) {
 }
 
 std::string serialize_http_response(const HttpResponse& response, bool keep_alive) {
+  // mcb-lint: suppress(R18: status formatting; the reactor reaches this only on rare 503 reject paths — workers own per-request serialization)
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
   out += http_status_text(response.status);
   out += "\r\nContent-Type: ";
   out += response.content_type;
+  // mcb-lint: suppress(R18: length formatting; the reactor reaches this only on rare 503 reject paths — workers own per-request serialization)
   out += "\r\nContent-Length: " + std::to_string(response.body.size());
   for (const auto& [key, value] : response.headers) {
     // Response-splitting guard: a header carrying CR/LF is dropped, not

@@ -92,3 +92,30 @@
 // a reason; the marker on a bare declaration is itself an error (R16),
 // so an annotation can never silently guard nothing.
 #define MCB_HOT_PATH
+
+// ---------------------------------------------------------------------
+// Call-graph boundary markers (DESIGN.md §13).
+//
+// mcbound_lint's whole-program pass propagates obligations *through*
+// the call graph: R18 carries the hot-path discipline from every
+// MCB_HOT_PATH root into everything it transitively calls, and R19
+// carries the reactor's never-blocking contract from reactor_tick /
+// handle_event downward. A boundary marker is the author's signed
+// assertion that the obligation is discharged at this function by
+// construction, so the traversal stops here and does not descend into
+// its body or callees. Like MCB_HOT_PATH, both markers expand to
+// nothing, must sit on a *definition* (R16 otherwise), and each use
+// carries an adjacent comment stating why the assertion holds — a
+// boundary without a reason is a reviewer's cue to push back.
+
+/// Cuts R18 (transitive hot-path discipline): the annotated function is
+/// a deliberate exit from the fast path — a cold fallback, a bounded
+/// per-connection setup, an error path — whose allocations/locks are
+/// acceptable by design even though a hot root can reach it.
+#define MCB_HOT_PATH_BOUNDARY
+
+/// Cuts R19 (reactor blocking-reachability): the annotated function
+/// either runs on the handler pool side of the completion-queue
+/// boundary (never on the reactor thread) or performs I/O that cannot
+/// block by construction (non-blocking fds, uncontended bounded locks).
+#define MCB_REACTOR_BOUNDARY

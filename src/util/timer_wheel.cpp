@@ -11,6 +11,7 @@ void TimerWheel::schedule(std::uint64_t id, std::uint64_t delay_ms) {
   std::uint64_t ticks = (delay_ms + tick_ms_ - 1) / tick_ms_;
   if (ticks == 0) ticks = 1;
   const std::uint64_t due = current_tick_ + ticks;
+  // mcb-lint: suppress(R18: slot vectors retain capacity after the wheel's first lap)
   slots_[due % slots_.size()].push_back({id, due});
   ++armed_;
 }
@@ -25,6 +26,7 @@ void TimerWheel::advance(std::uint64_t now_ms, std::vector<std::uint64_t>& expir
     std::size_t i = 0;
     while (i < slot.size()) {
       if (slot[i].due_tick <= current_tick_) {
+        // mcb-lint: suppress(R18: the caller's expired scratch list retains capacity across ticks)
         expired.push_back(slot[i].id);
         slot[i] = slot.back();
         slot.pop_back();

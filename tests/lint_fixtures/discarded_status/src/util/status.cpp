@@ -1,0 +1,17 @@
+// Fixture: a bool status silently dropped at statement position is R21;
+// an explicit `(void)` cast and a checked negation both count as
+// handling the result.
+
+namespace fix {
+
+bool try_reserve_slot() { return true; }
+
+void caller() {
+  try_reserve_slot();  // the one violation in this tree
+  (void)try_reserve_slot();
+  if (!try_reserve_slot()) {
+    return;
+  }
+}
+
+}  // namespace fix

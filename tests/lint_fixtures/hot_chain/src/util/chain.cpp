@@ -1,0 +1,29 @@
+// Fixture: an allocation two calls below an MCB_HOT_PATH root must be
+// reported by R18 with the full root→leaf call chain; the identical
+// pattern behind an MCB_HOT_PATH_BOUNDARY handoff must stay silent.
+
+#define MCB_HOT_PATH
+#define MCB_HOT_PATH_BOUNDARY
+
+namespace fix {
+
+int* leaf_allocates() {
+  return new int(7);
+}
+
+int* middle() { return leaf_allocates(); }
+
+MCB_HOT_PATH
+int* hot_root() { return middle(); }
+
+int* cold_leaf_allocates() { return new int(9); }
+
+// The handoff asserts everything below it honors the discipline (or is
+// off the hot path entirely), so the allocation behind it is unreported.
+MCB_HOT_PATH_BOUNDARY
+int* handoff() { return cold_leaf_allocates(); }
+
+MCB_HOT_PATH
+int* hot_root_with_boundary() { return handoff(); }
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Fixture: two mutexes taken in opposite orders on two code paths must
+// produce exactly one R20 cycle, with a witness chain for each order.
+
+namespace fix {
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+struct Store {
+  Mutex index_mutex;
+  Mutex blob_mutex;
+
+  void read_path() {
+    MutexLock index_lock(index_mutex);
+    MutexLock blob_lock(blob_mutex);
+  }
+
+  void write_path() {
+    MutexLock blob_lock(blob_mutex);
+    MutexLock index_lock(index_mutex);
+  }
+};
+
+}  // namespace fix

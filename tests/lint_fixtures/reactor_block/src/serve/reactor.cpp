@@ -1,0 +1,34 @@
+// Fixture: a scoped mutex acquisition reachable from a reactor root
+// (`reactor_tick` / `handle_event`) is R19; the same acquisition behind
+// an MCB_REACTOR_BOUNDARY handoff runs on the pool and must stay
+// silent.
+
+#define MCB_REACTOR_BOUNDARY
+
+namespace fix {
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex g_state_mutex;
+
+void guarded_update() {
+  MutexLock lock(g_state_mutex);
+}
+
+void reactor_tick() { guarded_update(); }
+
+void locked_on_the_pool() {
+  MutexLock lock(g_state_mutex);
+}
+
+// Handoff: below here the work runs on a pool worker, so waiting on the
+// mutex is fine.
+MCB_REACTOR_BOUNDARY
+void submit_to_pool() { locked_on_the_pool(); }
+
+void handle_event() { submit_to_pool(); }
+
+}  // namespace fix

@@ -1,18 +1,26 @@
 // Tests for the mcbound_lint analyzer library (tools/lint/): the
 // lexical front-end, the hot-path pass, rule R8's comment/string
-// separation, suppression parsing, and whole-tree runs over the
-// deliberately-broken trees in tests/lint_fixtures/ (layering
-// violations, an include cycle, suppression and baseline round-trips).
+// separation, suppression parsing, the function index / call graph and
+// the whole-program rules R18–R21, the report back-ends (text chains,
+// SARIF codeFlows golden, markdown catalog), and whole-tree runs over
+// the deliberately-broken trees in tests/lint_fixtures/ (layering
+// violations, an include cycle, suppression and baseline round-trips,
+// hot/reactor chains, a lock-order inversion, a discarded status).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/call_graph.hpp"
 #include "lint/diagnostics.hpp"
 #include "lint/driver.hpp"
+#include "lint/function_index.hpp"
 #include "lint/hot_path.hpp"
 #include "lint/include_graph.hpp"
+#include "lint/report.hpp"
 #include "lint/source_view.hpp"
 #include "lint/text_rules.hpp"
 
@@ -283,10 +291,10 @@ TEST(Baseline, ParsesEntriesAndMatches) {
       parse_baseline("# comment\nsrc/a.cpp|R2|*\nsrc/b.cpp|R9|stream\nbroken line\n");
   ASSERT_EQ(entries.size(), 3u);
   EXPECT_FALSE(entries[0].malformed);
-  EXPECT_TRUE(baseline_matches(entries[0], {"src/a.cpp", 3, "R2", "anything"}));
-  EXPECT_FALSE(baseline_matches(entries[0], {"src/a.cpp", 3, "R9", "anything"}));
-  EXPECT_TRUE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "direct stream write"}));
-  EXPECT_FALSE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "no match"}));
+  EXPECT_TRUE(baseline_matches(entries[0], {"src/a.cpp", 3, "R2", "anything", {}}));
+  EXPECT_FALSE(baseline_matches(entries[0], {"src/a.cpp", 3, "R9", "anything", {}}));
+  EXPECT_TRUE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "direct stream write", {}}));
+  EXPECT_FALSE(baseline_matches(entries[1], {"src/b.cpp", 1, "R9", "no match", {}}));
   EXPECT_TRUE(entries[2].malformed);
 }
 
@@ -354,6 +362,237 @@ TEST(Fixtures, BaselineAbsorbsAndStaleEntriesSurface) {
   // Without the baseline the naked new comes back.
   const LintResult bare = lint_fixture("baselined");
   EXPECT_EQ(count_rule(bare.violations, "R2"), 1u);
+}
+
+// ------------------------------------------------------- function index
+
+std::vector<FunctionDef> index_source(std::string_view src) {
+  FileContext ctx("src/util/t.cpp", scan_source(src));
+  std::vector<Violation> sink;
+  return index_functions(ctx, sink);
+}
+
+const FunctionDef* def_named(const std::vector<FunctionDef>& defs,
+                             std::string_view qualified) {
+  const auto it = std::find_if(defs.begin(), defs.end(), [&](const FunctionDef& d) {
+    return d.qualified_name == qualified;
+  });
+  return it == defs.end() ? nullptr : &*it;
+}
+
+TEST(FunctionIndex, QualifiesMethodsAndOutOfLineDefinitions) {
+  const auto defs = index_source(R"cpp(
+namespace ns {
+struct Widget {
+  int inline_method(int v) { return v; }
+};
+int free_helper() { return 0; }
+int Widget::out_of_line(int v) { return v; }
+}  // namespace ns
+int declared_only();
+)cpp");
+  EXPECT_NE(def_named(defs, "ns::Widget::inline_method"), nullptr);
+  EXPECT_NE(def_named(defs, "ns::free_helper"), nullptr);
+  EXPECT_NE(def_named(defs, "ns::Widget::out_of_line"), nullptr);
+  EXPECT_EQ(def_named(defs, "declared_only"), nullptr);  // no body, no def
+}
+
+TEST(FunctionIndex, InitListMembersAreNotDefinitions) {
+  const auto defs = index_source(R"cpp(
+struct Widget {
+ public:
+  Widget() : count_(0), label_("w") {}
+  int size_hint() { return count_; }
+ private:
+  int count_;
+  const char* label_;
+};
+)cpp");
+  // The ctor body must not be claimed by its init-list members...
+  EXPECT_EQ(def_named(defs, "Widget::count_"), nullptr);
+  EXPECT_EQ(def_named(defs, "Widget::label_"), nullptr);
+  // ...while the ctor itself and a method right after an access
+  // specifier both still index.
+  EXPECT_NE(def_named(defs, "Widget::Widget"), nullptr);
+  EXPECT_NE(def_named(defs, "Widget::size_hint"), nullptr);
+}
+
+TEST(FunctionIndex, TemplatesOperatorsAndLambdasIndex) {
+  const auto defs = index_source(R"cpp(
+template <typename T>
+T twice(T value) { return value + value; }
+struct Id { int v; };
+bool operator==(const Id& a, const Id& b) { return a.v == b.v; }
+int outer() {
+  auto hop = [&] { return helper_call(); };
+  return hop();
+}
+)cpp");
+  EXPECT_NE(def_named(defs, "twice"), nullptr);
+  const FunctionDef* eq = def_named(defs, "operator==");
+  ASSERT_NE(eq, nullptr);
+  EXPECT_TRUE(eq->returns_bool);
+  // The lambda is not a definition: its call belongs to `outer`.
+  const FunctionDef* outer = def_named(defs, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_TRUE(std::any_of(outer->calls.begin(), outer->calls.end(),
+                          [](const CallSite& c) { return c.name == "helper_call"; }));
+}
+
+TEST(FunctionIndex, ControlFlowHeadsAreNotDefinitions) {
+  const auto defs = index_source(R"cpp(
+int use(const Opt& o) {
+  if (o.has_value()) { return 1; }
+  while (o.pending()) { break; }
+  return 0;
+}
+)cpp");
+  // `if (o.has_value()) {` must not index a definition named has_value
+  // whose "body" is the if-block.
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs.front().qualified_name, "use");
+}
+
+TEST(CallGraph, StdVocabularyCallsAreNotLinked) {
+  FunctionIndex index;
+  std::vector<Violation> sink;
+  const FileContext a("src/util/a.cpp", scan_source(R"cpp(
+namespace m {
+struct Model {
+  bool load(int v) { return v > 0; }
+};
+void refresh_cache() {}
+}  // namespace m
+)cpp"));
+  const FileContext b("src/util/b.cpp", scan_source(R"cpp(
+namespace m {
+void tick(Model& obj) {
+  obj.load(1);
+  refresh_cache();
+}
+}  // namespace m
+)cpp"));
+  index.add_file(a, 0, sink);
+  index.add_file(b, 1, sink);
+  const CallGraph graph(index);
+
+  EXPECT_TRUE(CallGraph::ambiguous_vocabulary("load"));
+  EXPECT_TRUE(CallGraph::ambiguous_vocabulary("push_back"));
+  EXPECT_FALSE(CallGraph::ambiguous_vocabulary("refresh_cache"));
+
+  const FunctionDef* tick = def_named(index.defs, "m::tick");
+  ASSERT_NE(tick, nullptr);
+  const std::size_t tick_id = static_cast<std::size_t>(tick - index.defs.data());
+  // `obj.load(1)` is std vocabulary and stays unlinked; refresh_cache links.
+  ASSERT_EQ(graph.edges_of(tick_id).size(), 1u);
+  EXPECT_EQ(index.defs[graph.edges_of(tick_id).front().callee].qualified_name,
+            "m::refresh_cache");
+  // R21's relaxed resolution still sees the bool-returning load.
+  const auto relaxed = graph.resolve({"load", 0, true}, false);
+  ASSERT_EQ(relaxed.size(), 1u);
+  EXPECT_EQ(index.defs[relaxed.front()].qualified_name, "m::Model::load");
+}
+
+// ------------------------------------------- whole-program rule fixtures
+
+TEST(Fixtures, TransitiveHotAllocationReportedWithChain) {
+  const LintResult result = lint_fixture("hot_chain");
+  ASSERT_FALSE(result.config_error);
+  ASSERT_EQ(count_rule(result.violations, "R18"), 1u);
+  const auto it =
+      std::find_if(result.violations.begin(), result.violations.end(),
+                   [](const Violation& v) { return v.rule == "R18"; });
+  // The allocation sits two calls below the hot root and the finding
+  // carries the whole chain.
+  EXPECT_NE(it->message.find("hot_root -> middle -> leaf_allocates"),
+            std::string::npos);
+  ASSERT_EQ(it->chain.size(), 4u);
+  EXPECT_EQ(it->chain.front().note, "fix::hot_root (root)");
+  EXPECT_EQ(it->chain.back().line, it->line);
+  // The identical allocation behind MCB_HOT_PATH_BOUNDARY stays silent.
+  EXPECT_FALSE(
+      any_message_contains(result.violations, "R18", "hot_root_with_boundary"));
+}
+
+TEST(Fixtures, ReactorBlockingReportedAndBoundaryCuts) {
+  const LintResult result = lint_fixture("reactor_block");
+  ASSERT_EQ(count_rule(result.violations, "R19"), 1u);
+  EXPECT_TRUE(any_message_contains(result.violations, "R19",
+                                   "reactor_tick -> guarded_update"));
+  // The same mutex behind MCB_REACTOR_BOUNDARY runs on the pool.
+  EXPECT_FALSE(any_message_contains(result.violations, "R19", "locked_on_the_pool"));
+  EXPECT_FALSE(any_message_contains(result.violations, "R19", "handle_event"));
+}
+
+TEST(Fixtures, LockOrderInversionReportedWithWitnesses) {
+  const LintResult result = lint_fixture("lock_inversion");
+  ASSERT_EQ(count_rule(result.violations, "R20"), 1u);
+  const auto it =
+      std::find_if(result.violations.begin(), result.violations.end(),
+                   [](const Violation& v) { return v.rule == "R20"; });
+  EXPECT_NE(it->message.find("fix::Store::index_mutex"), std::string::npos);
+  EXPECT_NE(it->message.find("fix::Store::blob_mutex"), std::string::npos);
+  EXPECT_NE(it->message.find("witnesses"), std::string::npos);
+  // One hold→acquire witness pair per direction of the cycle.
+  ASSERT_EQ(it->chain.size(), 4u);
+}
+
+TEST(Fixtures, DiscardedStatusReportedOnceNegativesSilent) {
+  const LintResult result = lint_fixture("discarded_status");
+  ASSERT_EQ(count_rule(result.violations, "R21"), 1u);
+  const auto it =
+      std::find_if(result.violations.begin(), result.violations.end(),
+                   [](const Violation& v) { return v.rule == "R21"; });
+  EXPECT_NE(it->message.find("try_reserve_slot"), std::string::npos);
+  // Only the bare statement: `(void)` and `if (!...)` both count as handled.
+  EXPECT_EQ(it->line, 10u);
+}
+
+TEST(Fixtures, DriverRecordsPassTimingsAndGraphStats) {
+  const LintResult result = lint_fixture("hot_chain");
+  EXPECT_GT(result.stats.functions_indexed, 0u);
+  EXPECT_GT(result.stats.call_edges, 0u);
+  const auto ran = [&](std::string_view name) {
+    return std::any_of(result.stats.passes.begin(), result.stats.passes.end(),
+                       [&](const PassTiming& p) { return p.name == name; });
+  };
+  EXPECT_TRUE(ran("load+tokenize"));
+  EXPECT_TRUE(ran("function index"));
+  EXPECT_TRUE(ran("call graph + R18-R21"));
+  EXPECT_NE(result.call_graph_dot.find("digraph"), std::string::npos);
+}
+
+// ------------------------------------------------------- report back-ends
+
+TEST(Report, TextRendersChainSubLines) {
+  const LintResult result = lint_fixture("hot_chain");
+  std::ostringstream text;
+  print_text(text, result.violations);
+  EXPECT_NE(text.str().find("    1. fix::hot_root (root) (src/util/chain.cpp:17)"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("operator new allocates (R10)"), std::string::npos);
+}
+
+TEST(Report, SarifMatchesGoldenSnapshot) {
+  const LintResult result = lint_fixture("hot_chain");
+  std::ostringstream sarif;
+  print_sarif(sarif, result.violations);
+  std::ifstream golden(std::string(MCB_LINT_FIXTURE_DIR) +
+                       "/hot_chain/expected.sarif");
+  ASSERT_TRUE(golden.good());
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(sarif.str(), want.str());
+}
+
+TEST(Report, MarkdownCatalogCoversEveryRuleWithAnchors) {
+  std::ostringstream md;
+  print_rules_markdown(md);
+  const std::string text = md.str();
+  for (const RuleInfo& info : rule_catalog()) {
+    EXPECT_NE(text.find("## " + std::string(info.id)), std::string::npos) << info.id;
+  }
+  EXPECT_EQ(rule_anchor("R18"), "#r18");
 }
 
 TEST(Fixtures, MissingManifestIsAConfigError) {

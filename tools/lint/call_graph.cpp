@@ -1,0 +1,202 @@
+#include "lint/call_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace mcb::lint {
+
+namespace {
+
+// std:: container / atomic / stream vocabulary: an unqualified or
+// member call with one of these names is overwhelmingly a call on a
+// standard type (`counter.load()`, `buf.size()`), not on a repo
+// definition that happens to share the name. Linking them would wire
+// e.g. every atomic load into `ClassificationModel::load` and flood
+// R18 with false chains, so reachability linking skips them; spell the
+// call `Class::name` to force the edge. R21 resolves these names with
+// `strict_vocabulary=false` plus its own all-defs-return-bool filter.
+constexpr std::string_view kAmbiguousVocabulary[] = {
+    "append",       "assign",    "at",        "back",         "begin",
+    "c_str",        "clear",     "close",     "compare",      "contains",
+    "count",        "data",      "emplace",   "emplace_back", "empty",
+    "end",          "erase",     "exchange",  "extract",      "find",
+    "first",        "flush",     "front",     "get",          "insert",
+    "length",       "load",      "lock",      "max",          "merge",
+    "min",          "open",      "pop",       "pop_back",     "pop_front",
+    "push",         "push_back", "push_front","read",         "release",
+    "reserve",      "reset",     "resize",    "second",       "size",
+    "store",        "str",       "substr",    "swap",         "test",
+    "top",          "try_lock",  "unlock",    "value",        "wait",
+    "write",
+};
+
+std::vector<std::string_view> split_components(std::string_view name) {
+  std::vector<std::string_view> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t sep = name.find("::", begin);
+    if (sep == std::string_view::npos) {
+      parts.push_back(name.substr(begin));
+      return parts;
+    }
+    parts.push_back(name.substr(begin, sep - begin));
+    begin = sep + 2;
+  }
+}
+
+/// True when the call components are a suffix of the definition's
+/// qualified-name components (`HttpServer::stop` matches
+/// `mcb::HttpServer::stop`).
+bool suffix_matches(const std::vector<std::string_view>& def_parts,
+                    const std::vector<std::string_view>& call_parts) {
+  if (call_parts.size() > def_parts.size()) return false;
+  return std::equal(call_parts.rbegin(), call_parts.rend(), def_parts.rbegin());
+}
+
+}  // namespace
+
+bool CallGraph::ambiguous_vocabulary(std::string_view name) {
+  for (const std::string_view word : kAmbiguousVocabulary) {
+    if (name == word) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> CallGraph::resolve(const CallSite& site,
+                                            bool strict_vocabulary) const {
+  const std::vector<std::string_view> call_parts = split_components(site.name);
+  const std::string_view last = call_parts.back();
+  if (strict_vocabulary && call_parts.size() == 1 && ambiguous_vocabulary(last)) {
+    return {};
+  }
+  const auto it = index_->by_last_name.find(last);
+  if (it == index_->by_last_name.end()) return {};
+  if (call_parts.size() == 1) return it->second;
+  std::vector<std::size_t> out;
+  for (const std::size_t def : it->second) {
+    if (suffix_matches(split_components(index_->defs[def].qualified_name),
+                       call_parts)) {
+      out.push_back(def);
+    }
+  }
+  return out;
+}
+
+CallGraph::CallGraph(const FunctionIndex& index) : index_(&index) {
+  adj_.resize(index.defs.size());
+  for (std::size_t caller = 0; caller < index.defs.size(); ++caller) {
+    for (const CallSite& site : index.defs[caller].calls) {
+      for (const std::size_t callee : resolve(site, /*strict_vocabulary=*/true)) {
+        adj_[caller].push_back({callee, site.pos});
+      }
+    }
+  }
+}
+
+std::size_t CallGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const std::vector<Edge>& edges : adj_) n += edges.size();
+  return n;
+}
+
+CallGraph::Reach CallGraph::reachable(
+    std::vector<std::size_t> roots,
+    const std::function<bool(const FunctionDef&)>& cut) const {
+  Reach reach;
+  reach.parent.assign(index_->defs.size(), Reach::kUnreached);
+  reach.via_pos.assign(index_->defs.size(), 0);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::deque<std::size_t> queue;
+  for (const std::size_t root : roots) {
+    if (reach.parent[root] != Reach::kUnreached) continue;
+    reach.parent[root] = Reach::kRoot;
+    reach.order.push_back(root);
+    queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const std::size_t at = queue.front();
+    queue.pop_front();
+    for (const Edge& edge : adj_[at]) {
+      if (reach.parent[edge.callee] != Reach::kUnreached) continue;
+      if (cut && cut(index_->defs[edge.callee])) continue;
+      reach.parent[edge.callee] = static_cast<int>(at);
+      reach.via_pos[edge.callee] = edge.call_pos;
+      reach.order.push_back(edge.callee);
+      queue.push_back(edge.callee);
+    }
+  }
+  return reach;
+}
+
+std::vector<CallGraph::Step> CallGraph::chain_to(const Reach& reach,
+                                                 std::size_t def) const {
+  std::vector<Step> chain;
+  int at = static_cast<int>(def);
+  while (at != Reach::kRoot) {
+    const std::size_t d = static_cast<std::size_t>(at);
+    const int parent = reach.parent[d];
+    if (parent == Reach::kUnreached) return {};  // not reached: no chain
+    // call_pos: where the parent calls `d`; 0 for the root step.
+    chain.push_back({d, parent == Reach::kRoot ? 0 : reach.via_pos[d]});
+    at = parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::string CallGraph::to_dot() const {
+  // Slice: everything reachable from the hot-path and reactor roots.
+  // Boundary-marked definitions are rendered (dashed) but not expanded,
+  // mirroring exactly what R18/R19 traverse.
+  std::vector<std::size_t> roots;
+  for (std::size_t d = 0; d < index_->defs.size(); ++d) {
+    const FunctionDef& def = index_->defs[d];
+    if (def.hot_path || def.last_name() == "reactor_tick" ||
+        def.last_name() == "handle_event") {
+      roots.push_back(d);
+    }
+  }
+  const Reach reach = reachable(roots, [](const FunctionDef& def) {
+    return def.hot_boundary || def.reactor_boundary;
+  });
+  // Re-walk one level past the cut so boundary nodes appear as leaves.
+  std::set<std::string> root_names;
+  std::set<std::string> boundary_names;
+  std::set<std::string> plain_names;
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const std::size_t d : reach.order) {
+    const FunctionDef& def = index_->defs[d];
+    (def.hot_path ? root_names : plain_names).insert(def.qualified_name);
+    for (const Edge& edge : adj_[d]) {
+      const FunctionDef& callee = index_->defs[edge.callee];
+      if (callee.hot_boundary || callee.reactor_boundary) {
+        boundary_names.insert(callee.qualified_name);
+      }
+      edges.insert({def.qualified_name, callee.qualified_name});
+    }
+  }
+  std::string dot;
+  dot += "// Generated by: mcbound_lint --graph=dot --graph-kind=calls\n";
+  dot += "// Call-graph slice reachable from MCB_HOT_PATH / reactor roots.\n";
+  dot += "// Dashed nodes carry a boundary marker and are not expanded.\n";
+  dot += "digraph mcbound_calls {\n";
+  dot += "  rankdir=LR;\n";
+  dot += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::string& name : root_names) {
+    dot += "  \"" + name + "\" [style=bold, color=firebrick];\n";
+  }
+  for (const std::string& name : boundary_names) {
+    if (root_names.count(name)) continue;
+    dot += "  \"" + name + "\" [style=dashed, color=steelblue];\n";
+  }
+  for (const auto& [from, to] : edges) {
+    dot += "  \"" + from + "\" -> \"" + to + "\";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace mcb::lint

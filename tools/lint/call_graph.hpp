@@ -1,0 +1,94 @@
+// Cross-TU call graph of mcbound_lint (DESIGN.md §13).
+//
+// Links every call site in the function index to the definitions it may
+// reach, then answers the reachability queries the whole-program rules
+// are built on (R18 transitive hot-path discipline, R19 reactor
+// blocking-reachability). Linking is name-based and deliberately
+// over-approximate:
+//
+//  * a call links to every definition whose qualified name ends with
+//    the components written at the call site (overload-insensitive;
+//    virtual calls link to every same-named override);
+//  * unqualified calls whose name collides with the std:: container /
+//    atomic / stream vocabulary (`load`, `size`, `find`, ...) are NOT
+//    linked — lexically `counter.load()` and `model.load()` are
+//    indistinguishable, and linking them would drown the analysis in
+//    false chains. Writing the call with an explicit `Class::`
+//    qualification restores the edge. (R21 keeps its own, stricter
+//    treatment of exactly these names.)
+//
+// Reachability walks breadth-first from a root set and refuses to enter
+// any definition that carries the requested *cut* marker
+// (MCB_HOT_PATH_BOUNDARY for R18, MCB_REACTOR_BOUNDARY for R19); the
+// parent chain of every visited definition is kept so findings can
+// report the full root→leaf call chain (rendered as SARIF codeFlows).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/function_index.hpp"
+
+namespace mcb::lint {
+
+class CallGraph {
+ public:
+  struct Edge {
+    std::size_t callee = 0;    ///< index into index().defs
+    std::size_t call_pos = 0;  ///< byte offset of the call in the caller's file
+  };
+
+  /// Build the linked graph over a fully-populated index.
+  explicit CallGraph(const FunctionIndex& index);
+
+  const FunctionIndex& index() const { return *index_; }
+  const std::vector<Edge>& edges_of(std::size_t def) const { return adj_[def]; }
+  std::size_t edge_count() const;
+
+  /// True when an unqualified call spelled `name` is never linked (std
+  /// vocabulary collision — see file comment).
+  static bool ambiguous_vocabulary(std::string_view name);
+
+  /// Resolve one call site to definition indices (used by R21 as well,
+  /// with `strict_vocabulary=false` to keep `load`-family names).
+  std::vector<std::size_t> resolve(const CallSite& site,
+                                   bool strict_vocabulary) const;
+
+  // -------------------------------------------------------- reachability
+  struct Reach {
+    static constexpr int kUnreached = -2;
+    static constexpr int kRoot = -1;
+    /// parent[d]: defs index of the BFS parent, kRoot for roots,
+    /// kUnreached for definitions the walk never entered.
+    std::vector<int> parent;
+    std::vector<std::size_t> via_pos;  ///< call-site offset in the parent
+    std::vector<std::size_t> order;    ///< visited defs, BFS order
+  };
+
+  /// BFS from `roots` (defs indices, processed in sorted order so chain
+  /// attribution is deterministic). `cut(def)` true = do not enter the
+  /// definition at all: its body is not scanned and its callees are not
+  /// followed. Roots are always entered, even if also marked cut.
+  Reach reachable(std::vector<std::size_t> roots,
+                  const std::function<bool(const FunctionDef&)>& cut) const;
+
+  /// Root→def call chain from a Reach result, one step per definition.
+  struct Step {
+    std::size_t def = 0;
+    std::size_t call_pos = 0;  ///< 0 for the root step
+  };
+  std::vector<Step> chain_to(const Reach& reach, std::size_t def) const;
+
+  /// DOT render of the slice reachable from every MCB_HOT_PATH and
+  /// reactor root — the part of the graph the whole-program rules
+  /// reason about (docs/call_graph.dot, CI drift gate).
+  std::string to_dot() const;
+
+ private:
+  const FunctionIndex* index_;
+  std::vector<std::vector<Edge>> adj_;
+};
+
+}  // namespace mcb::lint

@@ -13,20 +13,35 @@
 
 namespace mcb::lint {
 
+/// One step of a whole-program call chain (R18/R19 root→leaf paths,
+/// R20 lock-order witnesses). Rendered as indented sub-lines in text
+/// output and as SARIF codeFlows/threadFlows locations.
+struct ChainStep {
+  std::string file;  ///< path relative to the lint root
+  std::size_t line = 0;
+  std::string note;  ///< function name or step description
+};
+
 struct Violation {
   std::string file;  ///< path relative to the lint root, '/'-separated
   std::size_t line = 0;
-  std::string rule;  ///< "R1".."R16"
+  std::string rule;  ///< "R1".."R21"
   std::string message;
+  std::vector<ChainStep> chain;  ///< empty for intraprocedural rules
 };
 
 struct RuleInfo {
   std::string_view id;
   std::string_view summary;
+  std::string_view level;      ///< SARIF defaultConfiguration.level
+  std::string_view rationale;  ///< docs/lint_rules.md prose
+  std::string_view example;    ///< an offending snippet
+  std::string_view recipe;     ///< how to fix or legitimately suppress
 };
 
 /// Every rule the analyzer can emit, in id order. SARIF requires the
-/// full catalog up front; the text reporter uses it for --help.
+/// full catalog up front; `--rules=markdown` renders docs/lint_rules.md
+/// from the same table so the docs cannot drift from the analyzer.
 const std::vector<RuleInfo>& rule_catalog();
 
 /// True when `rule` names a catalogued rule id.
@@ -92,7 +107,7 @@ struct FileContext {
 
   void add(std::size_t pos, std::string rule, std::string message,
            std::vector<Violation>& out) const {
-    out.push_back({rel_path, lines.line_of(pos), std::move(rule), std::move(message)});
+    out.push_back({rel_path, lines.line_of(pos), std::move(rule), std::move(message), {}});
   }
 };
 

@@ -1,12 +1,17 @@
 #include "lint/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "lint/call_graph.hpp"
+#include "lint/function_index.hpp"
+#include "lint/graph_rules.hpp"
 #include "lint/hot_path.hpp"
 #include "lint/text_rules.hpp"
 
@@ -72,11 +77,13 @@ fs::path resolve(const fs::path& root, const std::string& maybe_relative) {
 }
 
 bool inline_suppressible(std::string_view rule) {
-  // Architecture rules (R13/R14) may only be grandfathered through the
-  // baseline — an inline comment at the include site must not be able
-  // to excuse a layering break. R15 findings are terminal.
+  // Architecture rules (R13/R14) and the lock-order rule (R20, whose
+  // anchor line is one witness of a multi-site cycle) may only be
+  // grandfathered through the baseline — an inline comment at one site
+  // must not be able to excuse a cross-file property. R15 findings are
+  // terminal.
   return rule.size() >= 2 && rule[0] == 'R' &&
-         !(rule == "R13" || rule == "R14" || rule == "R15");
+         !(rule == "R13" || rule == "R14" || rule == "R15" || rule == "R20");
 }
 
 }  // namespace
@@ -91,192 +98,246 @@ LintResult run_lint(const LintOptions& options) {
     return result;
   }
 
+  // Every pass below consumes this cache: each file is read and
+  // tokenized exactly once, here, and only referenced afterwards.
   std::vector<FileContext> contexts;
+  std::vector<fs::path> abs_paths;           // aligned with contexts
   std::vector<std::size_t> src_context_ids;  // indices into contexts
+  std::vector<std::size_t> aux_context_ids;  // tools/tests/bench/examples
   std::vector<Violation> raw;                // pre-suppression findings
 
-  // ------------------------------------------------------------ src/
-  std::vector<fs::path> src_files;
-  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
-    if (!entry.is_regular_file()) continue;
-    if (!has_extension(entry.path(), ".cpp", ".hpp")) continue;
-    if (in_fixture_dir(rel_to(root, entry.path()))) continue;
-    src_files.push_back(entry.path());
-  }
-  std::sort(src_files.begin(), src_files.end());
+  const auto timed = [&](const char* name, auto&& pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    result.stats.passes.push_back(
+        {name, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  };
 
-  for (const fs::path& path : src_files) {
-    contexts.emplace_back(rel_to(root, path), scan_source(read_file(path)));
-    FileContext& ctx = contexts.back();
-    src_context_ids.push_back(contexts.size() - 1);
-    ++result.stats.files_scanned;
-
-    check_no_wallclock_or_libc_rand(ctx, raw);
-    check_no_naked_new_delete(ctx, raw);
-    check_no_swallowing_catch_all(ctx, raw);
-    if (!is_sync_wrapper_file(path)) check_no_raw_std_sync(ctx, raw);
-    check_no_thread_detach(ctx, raw);
-    check_relaxed_order_justified(ctx, raw);
-    if (!may_write_streams_directly(path)) check_no_direct_stream_writes(ctx, raw);
-    if (must_confine_socket_syscalls(path)) check_reactor_syscall_confinement(ctx, raw);
-    result.stats.hot_regions += check_hot_paths(ctx, raw);
-
-    if (has_extension(path, ".hpp")) {
-      check_pragma_once(ctx, raw);
-      if (!options.compiler.empty()) {
-        const std::string cmd = options.compiler + " -std=" + options.std_flag +
-                                " -fsyntax-only -x c++ -I " + (root / "src").string() +
-                                " " + path.string() + " 2>/dev/null";
-        const int rc = std::system(cmd.c_str());  // NOLINT(cert-env33-c) — drives the compiler
-        if (rc != 0) {
-          raw.push_back({ctx.rel_path, 1, "R4",
-                         "header is not self-contained: `" + options.compiler +
-                             " -fsyntax-only " + path.filename().string() + "` failed"});
-        }
-        ++result.stats.headers_compiled;
-      }
-    }
-  }
-
-  // ------------------------------------------- tools/tests/bench/examples
-  // Reduced rule set: a CLI may read the clock and print, but leaks,
-  // swallowed errors and detached threads are still bugs there.
-  for (const char* dir : {"tools", "tests", "bench", "examples"}) {
-    const fs::path base = root / dir;
-    if (!fs::is_directory(base, ec)) continue;
-    std::vector<fs::path> files;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+  // ------------------------------------------------- load + tokenize
+  timed("load+tokenize", [&] {
+    std::vector<fs::path> src_files;
+    for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
       if (!entry.is_regular_file()) continue;
       if (!has_extension(entry.path(), ".cpp", ".hpp")) continue;
       if (in_fixture_dir(rel_to(root, entry.path()))) continue;
-      files.push_back(entry.path());
+      src_files.push_back(entry.path());
     }
-    std::sort(files.begin(), files.end());
-    for (const fs::path& path : files) {
+    std::sort(src_files.begin(), src_files.end());
+    for (const fs::path& path : src_files) {
       contexts.emplace_back(rel_to(root, path), scan_source(read_file(path)));
-      FileContext& ctx = contexts.back();
-      ++result.stats.files_scanned;
+      abs_paths.push_back(path);
+      src_context_ids.push_back(contexts.size() - 1);
+    }
+    for (const char* dir : {"tools", "tests", "bench", "examples"}) {
+      const fs::path base = root / dir;
+      if (!fs::is_directory(base, ec)) continue;
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        if (!has_extension(entry.path(), ".cpp", ".hpp")) continue;
+        if (in_fixture_dir(rel_to(root, entry.path()))) continue;
+        files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& path : files) {
+        contexts.emplace_back(rel_to(root, path), scan_source(read_file(path)));
+        abs_paths.push_back(path);
+        aux_context_ids.push_back(contexts.size() - 1);
+      }
+    }
+    result.stats.files_scanned = contexts.size();
+  });
+
+  // --------------------------------------------------- per-file rules
+  timed("per-file rules", [&] {
+    for (const std::size_t id : src_context_ids) {
+      FileContext& ctx = contexts[id];
+      const fs::path& path = abs_paths[id];
+      check_no_wallclock_or_libc_rand(ctx, raw);
+      check_no_naked_new_delete(ctx, raw);
+      check_no_swallowing_catch_all(ctx, raw);
+      if (!is_sync_wrapper_file(path)) check_no_raw_std_sync(ctx, raw);
+      check_no_thread_detach(ctx, raw);
+      check_relaxed_order_justified(ctx, raw);
+      if (!may_write_streams_directly(path)) check_no_direct_stream_writes(ctx, raw);
+      if (must_confine_socket_syscalls(path)) check_reactor_syscall_confinement(ctx, raw);
+      result.stats.hot_regions += check_hot_paths(ctx, raw);
+      if (has_extension(path, ".hpp")) check_pragma_once(ctx, raw);
+    }
+    // Reduced rule set for tools/tests/bench/examples: a CLI may read
+    // the clock and print, but leaks, swallowed errors and detached
+    // threads are still bugs there.
+    for (const std::size_t id : aux_context_ids) {
+      FileContext& ctx = contexts[id];
       check_no_naked_new_delete(ctx, raw);
       check_no_swallowing_catch_all(ctx, raw);
       check_no_thread_detach(ctx, raw);
     }
-  }
+  });
+
+  // ------------------------------------- header self-containment (R4)
+  timed("header self-containment (R4)", [&] {
+    if (options.compiler.empty()) return;
+    for (const std::size_t id : src_context_ids) {
+      const fs::path& path = abs_paths[id];
+      if (!has_extension(path, ".hpp")) continue;
+      const std::string cmd = options.compiler + " -std=" + options.std_flag +
+                              " -fsyntax-only -x c++ -I " + (root / "src").string() +
+                              " " + path.string() + " 2>/dev/null";
+      const int rc = std::system(cmd.c_str());  // NOLINT(cert-env33-c) — drives the compiler
+      if (rc != 0) {
+        raw.push_back({contexts[id].rel_path, 1, "R4",
+                       "header is not self-contained: `" + options.compiler +
+                           " -fsyntax-only " + path.filename().string() + "` failed", {}});
+      }
+      ++result.stats.headers_compiled;
+    }
+  });
 
   // ------------------------------------------------------ include graph
-  std::map<std::string, std::vector<IncludeSite>> file_graph;
-  for (const std::size_t id : src_context_ids) {
-    const FileContext& ctx = contexts[id];
-    // "src/ml/knn.cpp" → module "ml".
-    const fs::path rel(ctx.rel_path);
-    auto it = rel.begin();
-    ++it;  // skip "src"
-    if (it == rel.end() || std::next(it) == rel.end()) continue;  // file at src/ top level
-    const std::string from_module = it->string();
-    for (const IncludeSite& site : scan_includes(ctx)) {
-      const std::size_t slash = site.target.find('/');
-      if (slash == std::string::npos) continue;  // not a module-qualified include
-      if (!fs::exists(root / "src" / site.target, ec)) continue;  // outside src/
-      const std::string to_module = site.target.substr(0, slash);
-      result.graph.add_edge(from_module, to_module, site);
-      IncludeSite resolved = site;
-      resolved.target = "src/" + site.target;
-      file_graph[ctx.rel_path].push_back(std::move(resolved));
+  timed("include graph + layering", [&] {
+    std::map<std::string, std::vector<IncludeSite>> file_graph;
+    for (const std::size_t id : src_context_ids) {
+      const FileContext& ctx = contexts[id];
+      // "src/ml/knn.cpp" → module "ml".
+      const fs::path rel(ctx.rel_path);
+      auto it = rel.begin();
+      ++it;  // skip "src"
+      if (it == rel.end() || std::next(it) == rel.end()) continue;  // file at src/ top level
+      const std::string from_module = it->string();
+      for (const IncludeSite& site : scan_includes(ctx)) {
+        const std::size_t slash = site.target.find('/');
+        if (slash == std::string::npos) continue;  // not a module-qualified include
+        if (!fs::exists(root / "src" / site.target, ec)) continue;  // outside src/
+        const std::string to_module = site.target.substr(0, slash);
+        result.graph.add_edge(from_module, to_module, site);
+        IncludeSite resolved = site;
+        resolved.target = "src/" + site.target;
+        file_graph[ctx.rel_path].push_back(std::move(resolved));
+      }
     }
-  }
-  result.stats.modules = result.graph.module_count();
-  result.stats.module_edges = result.graph.cross_edge_count();
+    result.stats.modules = result.graph.module_count();
+    result.stats.module_edges = result.graph.cross_edge_count();
 
-  if (!options.layers_file.empty()) {
-    const fs::path layers_path = resolve(root, options.layers_file);
-    if (!fs::exists(layers_path, ec)) {
-      result.config_error = true;
-      result.config_message = "layer manifest not found: " + layers_path.string();
-      return result;
+    if (!options.layers_file.empty()) {
+      const fs::path layers_path = resolve(root, options.layers_file);
+      if (!fs::exists(layers_path, ec)) {
+        result.config_error = true;
+        result.config_message = "layer manifest not found: " + layers_path.string();
+        return;
+      }
+      LayerManifest manifest;
+      std::string error;
+      if (!parse_layer_manifest(read_file(layers_path), manifest, error)) {
+        result.config_error = true;
+        result.config_message = error;
+        return;
+      }
+      check_layering(result.graph, manifest, raw);
     }
-    LayerManifest manifest;
-    std::string error;
-    if (!parse_layer_manifest(read_file(layers_path), manifest, error)) {
-      result.config_error = true;
-      result.config_message = error;
-      return result;
+    check_include_cycles(file_graph, raw);
+  });
+  if (result.config_error) return result;
+
+  // --------------------------------------- whole-program passes (§13)
+  FunctionIndex index;
+  timed("function index", [&] {
+    for (const std::size_t id : src_context_ids) {
+      index.add_file(contexts[id], id, raw);
     }
-    check_layering(result.graph, manifest, raw);
-  }
-  check_include_cycles(file_graph, raw);
+    result.stats.functions_indexed = index.defs.size();
+  });
+
+  std::optional<CallGraph> graph;
+  timed("call graph + R18-R21", [&] {
+    graph.emplace(index);
+    result.stats.call_edges = graph->edge_count();
+    ContextTable table;
+    table.reserve(contexts.size());
+    for (const FileContext& ctx : contexts) table.push_back(&ctx);
+    check_transitive_hot(table, *graph, raw);
+    check_reactor_blocking(table, *graph, raw);
+    check_lock_order(table, *graph, raw);
+    check_discarded_status(table, *graph, raw);
+    result.call_graph_dot = graph->to_dot();
+  });
 
   // ------------------------------------------------- suppression pass
-  std::map<std::string, std::size_t> context_of;
-  for (std::size_t i = 0; i < contexts.size(); ++i) context_of[contexts[i].rel_path] = i;
-
   std::vector<Violation> active;
-  for (Violation& v : raw) {
-    bool suppressed = false;
-    const auto ctx_it = context_of.find(v.file);
-    if (ctx_it != context_of.end() && inline_suppressible(v.rule)) {
-      for (Suppression& s : contexts[ctx_it->second].suppressions) {
-        if (s.malformed || s.rule != v.rule) continue;
-        const bool in_scope =
-            s.scope_end != 0 ? (v.line >= s.scope_begin && v.line <= s.scope_end)
-                             : (v.line == s.line || v.line == s.line + 1);
-        if (!in_scope) continue;
-        s.used = true;
-        suppressed = true;
-        ++result.stats.suppressions_used;
-        break;
-      }
-    }
-    if (!suppressed) active.push_back(std::move(v));
-  }
+  timed("suppressions", [&] {
+    std::map<std::string, std::size_t> context_of;
+    for (std::size_t i = 0; i < contexts.size(); ++i) context_of[contexts[i].rel_path] = i;
 
-  for (const FileContext& ctx : contexts) {
-    for (const Suppression& s : ctx.suppressions) {
-      if (s.malformed) {
-        active.push_back({ctx.rel_path, s.line, "R15",
-                          "malformed suppression — use `mcb-lint: suppress(R<n>: reason)` "
-                          "with a known rule and a non-empty reason"});
-      } else if (!s.used) {
-        active.push_back({ctx.rel_path, s.line, "R15",
-                          "unused suppression for " + s.rule +
-                              " — the finding it excused is gone; delete the comment"});
+    for (Violation& v : raw) {
+      bool suppressed = false;
+      const auto ctx_it = context_of.find(v.file);
+      if (ctx_it != context_of.end() && inline_suppressible(v.rule)) {
+        for (Suppression& s : contexts[ctx_it->second].suppressions) {
+          if (s.malformed || s.rule != v.rule) continue;
+          const bool in_scope =
+              s.scope_end != 0 ? (v.line >= s.scope_begin && v.line <= s.scope_end)
+                               : (v.line == s.line || v.line == s.line + 1);
+          if (!in_scope) continue;
+          s.used = true;
+          suppressed = true;
+          ++result.stats.suppressions_used;
+          break;
+        }
+      }
+      if (!suppressed) active.push_back(std::move(v));
+    }
+
+    for (const FileContext& ctx : contexts) {
+      for (const Suppression& s : ctx.suppressions) {
+        if (s.malformed) {
+          active.push_back({ctx.rel_path, s.line, "R15",
+                            "malformed suppression — use `mcb-lint: suppress(R<n>: reason)` "
+                            "with a known rule and a non-empty reason", {}});
+        } else if (!s.used) {
+          active.push_back({ctx.rel_path, s.line, "R15",
+                            "unused suppression for " + s.rule +
+                                " — the finding it excused is gone; delete the comment", {}});
+        }
       }
     }
-  }
+  });
 
   // --------------------------------------------------- baseline pass
-  if (!options.baseline_file.empty()) {
+  timed("baseline", [&] {
+    if (options.baseline_file.empty()) return;
     const fs::path baseline_path = resolve(root, options.baseline_file);
     const std::string baseline_rel = rel_to(root, baseline_path);
-    if (fs::exists(baseline_path, ec)) {
-      std::vector<BaselineEntry> entries = parse_baseline(read_file(baseline_path));
-      std::vector<Violation> kept;
-      for (Violation& v : active) {
-        bool grandfathered = false;
-        if (v.rule != "R15") {
-          for (BaselineEntry& entry : entries) {
-            if (baseline_matches(entry, v)) {
-              ++entry.hits;
-              ++result.stats.baselined;
-              grandfathered = true;
-              break;
-            }
+    if (!fs::exists(baseline_path, ec)) return;
+    std::vector<BaselineEntry> entries = parse_baseline(read_file(baseline_path));
+    std::vector<Violation> kept;
+    for (Violation& v : active) {
+      bool grandfathered = false;
+      if (v.rule != "R15") {
+        for (BaselineEntry& entry : entries) {
+          if (baseline_matches(entry, v)) {
+            ++entry.hits;
+            ++result.stats.baselined;
+            grandfathered = true;
+            break;
           }
         }
-        if (!grandfathered) kept.push_back(std::move(v));
       }
-      active = std::move(kept);
-      for (const BaselineEntry& entry : entries) {
-        if (entry.malformed) {
-          active.push_back({baseline_rel, entry.line, "R15",
-                            "malformed baseline entry — use `<path>|<rule>|<message "
-                            "substring or *>`"});
-        } else if (entry.hits == 0) {
-          active.push_back({baseline_rel, entry.line, "R15",
-                            "stale baseline entry for " + entry.rule + " in " + entry.file +
-                                " — the grandfathered finding is gone; delete the line"});
-        }
+      if (!grandfathered) kept.push_back(std::move(v));
+    }
+    active = std::move(kept);
+    for (const BaselineEntry& entry : entries) {
+      if (entry.malformed) {
+        active.push_back({baseline_rel, entry.line, "R15",
+                          "malformed baseline entry — use `<path>|<rule>|<message "
+                          "substring or *>`", {}});
+      } else if (entry.hits == 0) {
+        active.push_back({baseline_rel, entry.line, "R15",
+                          "stale baseline entry for " + entry.rule + " in " + entry.file +
+                              " — the grandfathered finding is gone; delete the line", {}});
       }
     }
-  }
+  });
 
   std::sort(active.begin(), active.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -1,8 +1,12 @@
-// Orchestration of the mcbound_lint passes (DESIGN.md §12): walk the
-// tree, run per-file rules, build the include graph, enforce the layer
-// manifest, then resolve inline suppressions and the committed baseline
-// into the final violation list. Exposed as a library (mcb_lint_core)
-// so tests/test_lint.cpp drives the same code paths CI does.
+// Orchestration of the mcbound_lint passes (DESIGN.md §12–§13): load
+// and tokenize every file ONCE into a shared context cache, run the
+// per-file rules, build the include graph and enforce the layer
+// manifest, build the cross-TU function index and call graph and run
+// the whole-program rules (R18–R21), then resolve inline suppressions
+// and the committed baseline into the final violation list. Each pass
+// is timed; `--verbose` prints the breakdown. Exposed as a library
+// (mcb_lint_core) so tests/test_lint.cpp drives the same code paths CI
+// does.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +29,12 @@ struct LintOptions {
   bool verbose = false;
 };
 
+/// Wall time of one analysis pass, in the order the passes ran.
+struct PassTiming {
+  std::string name;
+  double ms = 0.0;
+};
+
 struct LintStats {
   std::size_t files_scanned = 0;
   std::size_t headers_compiled = 0;
@@ -33,6 +43,9 @@ struct LintStats {
   std::size_t baselined = 0;
   std::size_t modules = 0;
   std::size_t module_edges = 0;
+  std::size_t functions_indexed = 0;
+  std::size_t call_edges = 0;
+  std::vector<PassTiming> passes;
 };
 
 struct LintResult {
@@ -40,6 +53,9 @@ struct LintResult {
   std::string config_message;
   std::vector<Violation> violations;  ///< post-suppression, post-baseline
   ModuleGraph graph;
+  /// Call-graph slice reachable from the hot-path / reactor roots
+  /// (`--graph=dot --graph-kind=calls`, docs/call_graph.dot).
+  std::string call_graph_dot;
   LintStats stats;
 };
 

@@ -1,0 +1,47 @@
+// Whole-program rules of mcbound_lint (DESIGN.md §13, rules R18–R21).
+//
+// All four rules consume the cross-TU function index and call graph:
+//
+//  * R18 — transitive hot-path discipline: any R10/R11/R12 construct in
+//    a function reachable from an MCB_HOT_PATH root, reported with the
+//    full root→leaf call chain. Traversal stops at functions marked
+//    MCB_HOT_PATH_BOUNDARY. Roots themselves are skipped here — their
+//    direct bodies are already checked by the intraprocedural pass.
+//  * R19 — reactor blocking-reachability: blocking primitives (mutex
+//    waits, condvar waits, blocking syscalls, thread-pool parking)
+//    reachable from the reactor roots `reactor_tick` / `handle_event`
+//    without crossing MCB_REACTOR_BOUNDARY.
+//  * R20 — static lock-order cycles: a lock-order graph built from
+//    scoped-lock sites, MCB_REQUIRES/MCB_ACQUIRE annotations and call
+//    edges, class-qualified capability names, cycles reported with one
+//    witness chain per conflicting order. Baseline-only, like R13/R14.
+//  * R21 — discarded status results: statement-position calls to repo
+//    functions that (for every same-named definition) return bool,
+//    with `(void)` casts and used results recognized as negatives.
+#pragma once
+
+#include <vector>
+
+#include "lint/call_graph.hpp"
+#include "lint/diagnostics.hpp"
+#include "lint/function_index.hpp"
+
+namespace mcb::lint {
+
+/// The file-context table the function index was built over, indexed by
+/// FunctionDef::file_ctx.
+using ContextTable = std::vector<const FileContext*>;
+
+void check_transitive_hot(const ContextTable& ctxs, const CallGraph& graph,
+                          std::vector<Violation>& out);
+
+void check_reactor_blocking(const ContextTable& ctxs, const CallGraph& graph,
+                            std::vector<Violation>& out);
+
+void check_lock_order(const ContextTable& ctxs, const CallGraph& graph,
+                      std::vector<Violation>& out);
+
+void check_discarded_status(const ContextTable& ctxs, const CallGraph& graph,
+                            std::vector<Violation>& out);
+
+}  // namespace mcb::lint

@@ -15,72 +15,6 @@ bool on_preprocessor_line(std::string_view code, std::size_t pos) {
   return first != std::string_view::npos && code[bol + first] == '#';
 }
 
-std::size_t match_forward(std::string_view code, std::size_t open, char open_ch,
-                          char close_ch) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == open_ch) ++depth;
-    if (code[i] == close_ch && --depth == 0) return i;
-  }
-  return std::string_view::npos;
-}
-
-std::string name_before(std::string_view code, std::size_t paren) {
-  std::size_t end = paren;
-  while (end > 0 && code[end - 1] == ' ') --end;
-  std::size_t begin = end;
-  while (begin > 0 && (is_ident_char(code[begin - 1]) || code[begin - 1] == ':' ||
-                       code[begin - 1] == '~')) {
-    --begin;
-  }
-  return std::string(code.substr(begin, end - begin));
-}
-
-// After the parameter list's closing ')', walk over qualifiers
-// (`const`, `noexcept(...)`, `override`, trailing return types) and an
-// optional ctor-init list until the body '{' or a terminating ';'.
-// Inside an init list, a '{' whose previous non-space character
-// continues an identifier is a brace-initializer (`member_{value}`) and
-// is skipped; the body brace follows ')' or '}' or the init-list comma
-// structure instead.
-std::size_t find_body_open(std::string_view code, std::size_t after_params) {
-  bool in_init_list = false;
-  for (std::size_t i = after_params; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == ';') return std::string_view::npos;
-    if (c == '(') {  // noexcept(...) / init-list member(args)
-      const std::size_t close = match_forward(code, i, '(', ')');
-      if (close == std::string_view::npos) return std::string_view::npos;
-      i = close;
-      continue;
-    }
-    if (c == ':' ) {
-      if (i + 1 < code.size() && code[i + 1] == ':') { ++i; continue; }
-      if (i > 0 && code[i - 1] == ':') continue;
-      in_init_list = true;
-      continue;
-    }
-    if (c == '{') {
-      if (in_init_list && is_ident_char(prev_nonspace(code, i))) {
-        const std::size_t close = match_forward(code, i, '{', '}');
-        if (close == std::string_view::npos) return std::string_view::npos;
-        i = close;
-        continue;
-      }
-      return i;
-    }
-  }
-  return std::string_view::npos;
-}
-
-struct TokenRule {
-  std::string_view word;
-  const char* rule;
-  const char* what;
-  bool member_only;  ///< require a preceding '.' or '->'
-  bool call_only;    ///< require a following '('
-};
-
 constexpr TokenRule kHotTokenRules[] = {
     // R10 — heap allocation.
     {"new", "R10", "operator new allocates", false, false},
@@ -111,6 +45,7 @@ constexpr TokenRule kHotTokenRules[] = {
     {"nanosleep", "R11", "sleeping blocks the fast path", false, true},
     {"wait", "R11", "unbounded wait blocks the fast path", false, true},
     {"accept", "R11", "blocking socket call", false, true},
+    {"accept4", "R11", "blocking socket call", false, true},
     {"recv", "R11", "blocking socket call", false, true},
     {"recvfrom", "R11", "blocking socket call", false, true},
     {"send", "R11", "blocking socket call", false, true},
@@ -134,6 +69,25 @@ constexpr TokenRule kHotTokenRules[] = {
 };
 
 }  // namespace
+
+std::vector<TokenHit> scan_hot_tokens(std::string_view body) {
+  std::vector<TokenHit> hits;
+  for (const TokenRule& rule : kHotTokenRules) {
+    for (std::size_t pos = find_word(body, rule.word, 0);
+         pos != std::string_view::npos;
+         pos = find_word(body, rule.word, pos + 1)) {
+      if (rule.call_only && !call_like(body, pos, rule.word.size())) continue;
+      if (rule.member_only) {
+        const char before = prev_nonspace(body, pos);
+        if (before != '.' && before != '>') continue;
+      }
+      // `= delete` style declarations cannot appear in a body; no
+      // extra filtering needed beyond the word match.
+      hits.push_back({&rule, pos});
+    }
+  }
+  return hits;
+}
 
 std::vector<HotRegion> find_hot_regions(const FileContext& ctx,
                                         std::vector<Violation>& out) {
@@ -192,27 +146,17 @@ std::size_t check_hot_paths(FileContext& ctx, std::vector<Violation>& out) {
 
     const std::string_view body = code.substr(region.body_begin,
                                               region.body_end - region.body_begin + 1);
-    for (const TokenRule& rule : kHotTokenRules) {
-      for (std::size_t pos = find_word(body, rule.word, 0);
-           pos != std::string_view::npos;
-           pos = find_word(body, rule.word, pos + 1)) {
-        if (rule.call_only && !call_like(body, pos, rule.word.size())) continue;
-        if (rule.member_only) {
-          const char before = prev_nonspace(body, pos);
-          if (before != '.' && before != '>') continue;
-        }
-        // `= delete` style declarations cannot appear in a body; no
-        // extra filtering needed beyond the word match.
-        ctx.add(region.body_begin + pos, rule.rule,
-                std::string(rule.what) + " inside MCB_HOT_PATH function `" +
-                    region.function + "` — hot paths must stay " +
-                    (rule.rule == std::string_view("R10")
-                         ? "allocation-free (reuse warm buffers)"
-                     : rule.rule == std::string_view("R11")
-                         ? "non-blocking and non-throwing"
-                         : "lock-free (shift synchronization to the caller or shard it)"),
-                out);
-      }
+    for (const TokenHit& hit : scan_hot_tokens(body)) {
+      const TokenRule& rule = *hit.rule;
+      ctx.add(region.body_begin + hit.pos, rule.rule,
+              std::string(rule.what) + " inside MCB_HOT_PATH function `" +
+                  region.function + "` — hot paths must stay " +
+                  (rule.rule == std::string_view("R10")
+                       ? "allocation-free (reuse warm buffers)"
+                   : rule.rule == std::string_view("R11")
+                       ? "non-blocking and non-throwing"
+                       : "lock-free (shift synchronization to the caller or shard it)"),
+              out);
     }
   }
   return regions.size();

@@ -31,6 +31,25 @@ struct HotRegion {
   std::size_t body_end = 0;    ///< offset of the matching '}'
 };
 
+/// One construct the hot-path discipline bans inside an annotated body.
+struct TokenRule {
+  std::string_view word;
+  const char* rule;  ///< "R10" | "R11" | "R12"
+  const char* what;
+  bool member_only;  ///< require a preceding '.' or '->'
+  bool call_only;    ///< require a following '('
+};
+
+struct TokenHit {
+  const TokenRule* rule = nullptr;
+  std::size_t pos = 0;  ///< offset within the scanned body
+};
+
+/// Scan one brace-delimited body (code view) for every R10/R11/R12
+/// token. Shared between the intraprocedural pass here and the
+/// transitive pass (R18), so both see the exact same construct set.
+std::vector<TokenHit> scan_hot_tokens(std::string_view body);
+
 /// Locate every MCB_HOT_PATH-annotated function *definition* in the
 /// file; markers on declarations or with unparseable bodies emit R16.
 /// Markers on preprocessor lines (the #define itself) are ignored.

@@ -1,10 +1,16 @@
 // Output back-ends of mcbound_lint (DESIGN.md §12).
 //
-//   text   one `<file>:<line>: [R<n>] <message>` per line, the format
-//          editors and CI logs have consumed since PR 2;
-//   sarif  SARIF 2.1.0 with the full rule catalog, consumed by GitHub
-//          code scanning (the lint-sarif CI job uploads it so findings
-//          annotate the offending PR lines).
+//   text      one `<file>:<line>: [R<n>] <message>` per line, the
+//             format editors and CI logs have consumed since PR 2;
+//             findings that carry a call chain (R18/R19/R20) print it
+//             as indented numbered sub-lines below the finding;
+//   sarif     SARIF 2.1.0 with the full rule catalog (helpUri into
+//             docs/lint_rules.md and defaultConfiguration.level per
+//             rule), consumed by GitHub code scanning; chained findings
+//             emit codeFlows so the viewer can step the chain;
+//   markdown  the rule reference rendered from the same catalog
+//             (`--rules=markdown` → docs/lint_rules.md, drift-gated in
+//             CI so the docs cannot fall behind the analyzer).
 #pragma once
 
 #include <ostream>
@@ -17,6 +23,12 @@ namespace mcb::lint {
 void print_text(std::ostream& out, const std::vector<Violation>& violations);
 
 void print_sarif(std::ostream& out, const std::vector<Violation>& violations);
+
+/// Render the rule catalog as the docs/lint_rules.md reference.
+void print_rules_markdown(std::ostream& out);
+
+/// Anchor of a rule's section in docs/lint_rules.md ("#r18").
+std::string rule_anchor(std::string_view rule_id);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(std::string_view text);

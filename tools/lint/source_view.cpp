@@ -170,4 +170,64 @@ bool call_like(std::string_view text, std::size_t pos, std::size_t word_len) {
   return after != std::string_view::npos && text[after] == '(';
 }
 
+std::size_t match_forward(std::string_view code, std::size_t open, char open_ch,
+                          char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_ch) ++depth;
+    if (code[i] == close_ch && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::string name_before(std::string_view code, std::size_t paren) {
+  std::size_t end = paren;
+  while (end > 0 && code[end - 1] == ' ') --end;
+  std::size_t begin = end;
+  while (begin > 0 && (is_ident_char(code[begin - 1]) || code[begin - 1] == ':' ||
+                       code[begin - 1] == '~')) {
+    --begin;
+  }
+  return std::string(code.substr(begin, end - begin));
+}
+
+// Inside an init list, a '{' whose previous non-space character
+// continues an identifier is a brace-initializer (`member_{value}`) and
+// is skipped; the body brace follows ')' or '}' or the init-list comma
+// structure instead.
+std::size_t find_body_open(std::string_view code, std::size_t after_params) {
+  bool in_init_list = false;
+  for (std::size_t i = after_params; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == ';') return std::string_view::npos;
+    // A closer here means the "parameter list" was actually a call
+    // nested in a larger expression (`if (x.has_value()) {` must not
+    // index a definition named has_value whose body is the if-block).
+    if (c == ')' || c == '}' || c == ']') return std::string_view::npos;
+    if (c == '=' && !in_init_list) return std::string_view::npos;
+    if (c == '(') {  // noexcept(...) / init-list member(args)
+      const std::size_t close = match_forward(code, i, '(', ')');
+      if (close == std::string_view::npos) return std::string_view::npos;
+      i = close;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < code.size() && code[i + 1] == ':') { ++i; continue; }
+      if (i > 0 && code[i - 1] == ':') continue;
+      in_init_list = true;
+      continue;
+    }
+    if (c == '{') {
+      if (in_init_list && is_ident_char(prev_nonspace(code, i))) {
+        const std::size_t close = match_forward(code, i, '{', '}');
+        if (close == std::string_view::npos) return std::string_view::npos;
+        i = close;
+        continue;
+      }
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
 }  // namespace mcb::lint

@@ -71,4 +71,18 @@ std::size_t next_nonspace(std::string_view text, std::size_t pos);
 /// by an opening parenthesis — i.e. it looks like a call.
 bool call_like(std::string_view text, std::size_t pos, std::size_t word_len);
 
+/// Position of the balanced closing delimiter for the opener at `open`
+/// (which must hold `open_ch`); npos when unbalanced to end of input.
+std::size_t match_forward(std::string_view code, std::size_t open, char open_ch,
+                          char close_ch);
+
+/// The (possibly `Class::`-qualified) identifier ending just before the
+/// '(' at `paren`, or "" when the text before it is not a name.
+std::string name_before(std::string_view code, std::size_t paren);
+
+/// After a parameter list's closing ')', walk over qualifiers (`const`,
+/// `noexcept(...)`, trailing return types) and an optional ctor-init
+/// list to the body '{'; npos when a ';' ends the declaration first.
+std::size_t find_body_open(std::string_view code, std::size_t after_params);
+
 }  // namespace mcb::lint

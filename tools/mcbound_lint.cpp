@@ -1,7 +1,7 @@
-// mcbound_lint — the repo's own static analyzer (DESIGN.md §7 & §12).
+// mcbound_lint — the repo's own static analyzer (DESIGN.md §7, §12, §13).
 //
 // PR 2 grew a bag of per-file token scans (rules R1–R9); this driver
-// now fronts a small multi-pass analyzer (tools/lint/):
+// now fronts a multi-pass, whole-program analyzer (tools/lint/):
 //
 //   * a lexical front-end producing aligned code/comment views of every
 //     translation unit (tools/lint/source_view);
@@ -17,14 +17,22 @@
 //     suppression comments of DESIGN.md §12), a committed baseline of
 //     grandfathered findings (tools/lint/baseline.txt), and hygiene rule
 //     R15 that fails unused suppressions and stale baseline entries;
-//   * text and SARIF reporters — CI uploads the SARIF run to GitHub
-//     code scanning (tools/lint/report).
+//   * a cross-TU function index and call graph
+//     (tools/lint/function_index, tools/lint/call_graph) feeding the
+//     whole-program rules R18–R21: transitive hot-path discipline,
+//     reactor blocking-reachability, static lock-order deadlock
+//     detection, and discarded bool/status results
+//     (tools/lint/graph_rules);
+//   * text, SARIF and markdown reporters — CI uploads the SARIF run to
+//     GitHub code scanning, and docs/lint_rules.md is rendered from the
+//     rule catalog via --rules=markdown (tools/lint/report).
 //
 // Exit status: 0 = clean, 1 = violations printed, 2 = usage/config
 // error. Text findings print one per line as
 //   <file>:<line>: [R<n>] <message>
 // so editors and CI can jump straight to the offence.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,13 +47,17 @@ namespace {
 void usage() {
   std::cerr
       << "usage: mcbound_lint --root <repo-root> [--compiler <cxx>] [--std <std>]\n"
-      << "                    [--format text|sarif] [--graph dot] [--output <file>]\n"
+      << "                    [--format text|sarif] [--graph dot] [--graph-kind modules|calls]\n"
+      << "                    [--rules markdown] [--output <file>]\n"
       << "                    [--layers <file>] [--baseline <file>] [--verbose]\n"
       << "\n"
-      << "  --format sarif   emit SARIF 2.1.0 (for GitHub code scanning)\n"
-      << "  --graph dot      print the src/ module dependency graph and exit\n"
-      << "  --layers ''      disable the layer-manifest check (fixtures/tests)\n"
-      << "  --baseline ''    ignore the committed baseline\n"
+      << "  --format sarif        emit SARIF 2.1.0 (for GitHub code scanning)\n"
+      << "  --graph dot           print a dependency graph and exit\n"
+      << "  --graph-kind calls    with --graph: the hot/reactor call-graph slice\n"
+      << "                        instead of the src/ module DAG (the default)\n"
+      << "  --rules markdown      print the rule reference (docs/lint_rules.md) and exit\n"
+      << "  --layers ''           disable the layer-manifest check (fixtures/tests)\n"
+      << "  --baseline ''         ignore the committed baseline\n"
       << "\nrules:\n";
   for (const auto& rule : mcb::lint::rule_catalog()) {
     std::cerr << "  " << rule.id << (rule.id.size() < 3 ? "   " : "  ") << rule.summary
@@ -59,6 +71,8 @@ int main(int argc, char** argv) {
   mcb::lint::LintOptions options;
   std::string format = "text";
   std::string graph;
+  std::string graph_kind = "modules";
+  std::string rules;
   std::string output;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -90,6 +104,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--graph") {
       if ((v = next()) == nullptr) { usage(); return 2; }
       graph = v;
+    } else if (arg == "--graph-kind") {
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      graph_kind = v;
+    } else if (arg == "--rules") {
+      if ((v = next()) == nullptr) { usage(); return 2; }
+      rules = v;
     } else if (arg == "--output") {
       if ((v = next()) == nullptr) { usage(); return 2; }
       output = v;
@@ -106,6 +126,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!rules.empty()) {
+    // Pure emission mode: no scan, just the catalog.
+    if (rules != "markdown") {
+      std::cerr << "mcbound_lint: unknown --rules `" << rules << "` (markdown)\n";
+      return 2;
+    }
+    mcb::lint::print_rules_markdown(std::cout);
+    return 0;
+  }
   if (options.root.empty()) {
     usage();
     return 2;
@@ -116,6 +145,11 @@ int main(int argc, char** argv) {
   }
   if (!graph.empty() && graph != "dot") {
     std::cerr << "mcbound_lint: unknown --graph `" << graph << "` (dot)\n";
+    return 2;
+  }
+  if (graph_kind != "modules" && graph_kind != "calls") {
+    std::cerr << "mcbound_lint: unknown --graph-kind `" << graph_kind
+              << "` (modules|calls)\n";
     return 2;
   }
 
@@ -136,10 +170,10 @@ int main(int argc, char** argv) {
   std::ostream& out = output.empty() ? std::cout : file_out;
 
   if (graph == "dot") {
-    // Pure emission mode for the CI drift gate and DESIGN.md: print the
-    // module DAG and report nothing else (rule findings still gate the
-    // regular invocation).
-    out << result.graph.to_dot();
+    // Pure emission mode for the CI drift gates and DESIGN.md: print the
+    // requested graph and report nothing else (rule findings still gate
+    // the regular invocation).
+    out << (graph_kind == "calls" ? result.call_graph_dot : result.graph.to_dot());
     return 0;
   }
 
@@ -153,9 +187,20 @@ int main(int argc, char** argv) {
               << " files, compiled " << result.stats.headers_compiled << " headers, "
               << result.stats.modules << " modules / " << result.stats.module_edges
               << " edges, " << result.stats.hot_regions << " hot regions, "
+              << result.stats.functions_indexed << " functions / "
+              << result.stats.call_edges << " call edges, "
               << result.stats.suppressions_used << " suppression(s), "
               << result.stats.baselined << " baselined, " << result.violations.size()
               << " violation(s)\n";
+  }
+  if (options.verbose) {
+    double total = 0.0;
+    for (const mcb::lint::PassTiming& pass : result.stats.passes) {
+      std::fprintf(stderr, "mcbound_lint:   %-32s %8.2f ms\n", pass.name.c_str(),
+                   pass.ms);
+      total += pass.ms;
+    }
+    std::fprintf(stderr, "mcbound_lint:   %-32s %8.2f ms\n", "total", total);
   }
   return result.violations.empty() ? 0 : 1;
 }
