@@ -1,0 +1,305 @@
+#include "obs/perf/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>  // NOLINT(modernize-deprecated-headers) sigaction/sigevent need the POSIX header
+#include <time.h>    // NOLINT(modernize-deprecated-headers) timer_create needs the POSIX header
+#endif
+
+namespace mcb::obs::perf {
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 32;
+constexpr std::size_t kRingSize = 8192;
+
+/// One raw sample. `ready` is the publication flag: the handler stores
+/// frames first, then releases `ready`; the aggregator acquires it.
+struct RawSample {
+  std::atomic<std::uint32_t> ready{0};
+  std::uint32_t depth = 0;
+  void* frames[kMaxDepth] = {};
+};
+
+// Fixed ring in BSS: the handler never allocates. 8192 slots covers the
+// clamped worst case (1000 Hz x 30 s = 30000 would overflow; overflow is
+// counted and reported, not an error).
+RawSample g_ring[kRingSize];
+std::atomic<std::uint32_t> g_head{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_busy{false};
+
+/// Async-signal context: one atomic slot claim, one backtrace, one
+/// release store. backtrace() is warmed by capture() before the timer is
+/// armed, so its lazy libgcc load never happens here.
+MCB_SIGNAL_HANDLER void profile_signal_handler(int /*signum*/) {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  // relaxed: slot claims only need to be unique, not ordered.
+  const std::uint32_t slot = g_head.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kRingSize) {
+    // relaxed: overflow tally is diagnostic only.
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  RawSample& sample = g_ring[slot];
+  const int depth = ::backtrace(sample.frames, static_cast<int>(kMaxDepth));
+  sample.depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+  sample.ready.store(1, std::memory_order_release);
+}
+
+/// Collapsed-stack format: frames joined by ';', count after the last
+/// space. Demangled C++ names can contain both separators ("unsigned
+/// long", "operator;;"... in theory), so frame names are sanitized to
+/// keep every emitted line machine-parseable.
+std::string sanitize_frame(std::string name) {
+  for (char& c : name) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+    if (c == ';') c = ':';
+  }
+  return name;
+}
+
+/// Best-effort name for one return address (post-capture only: dladdr
+/// and __cxa_demangle are not async-signal-safe).
+std::string symbolize(void* addr) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (::dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);  // __cxa_demangle contract: caller frees
+      return sanitize_frame(std::move(name));
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return sanitize_frame(info.dli_sname);
+  }
+  // Static functions and stripped modules: fall back to module+offset so
+  // the frame still folds deterministically.
+  char buf[128];
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    const auto offset = reinterpret_cast<std::uintptr_t>(addr) -
+                        reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                  static_cast<std::size_t>(offset));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%zx",
+                  reinterpret_cast<std::uintptr_t>(addr));
+  }
+  return buf;
+}
+
+void sleep_monotonic(double seconds) {
+  timespec deadline{};
+  ::clock_gettime(CLOCK_MONOTONIC, &deadline);
+  const auto whole = static_cast<time_t>(seconds);
+  deadline.tv_sec += whole;
+  deadline.tv_nsec +=
+      static_cast<long>((seconds - static_cast<double>(whole)) * 1e9);
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1000000000L;
+  }
+  for (;;) {
+    timespec now{};
+    ::clock_gettime(CLOCK_MONOTONIC, &now);
+    if (now.tv_sec > deadline.tv_sec ||
+        (now.tv_sec == deadline.tv_sec && now.tv_nsec >= deadline.tv_nsec)) {
+      return;
+    }
+    timespec remaining{deadline.tv_sec - now.tv_sec,
+                       deadline.tv_nsec - now.tv_nsec};
+    if (remaining.tv_nsec < 0) {
+      remaining.tv_sec -= 1;
+      remaining.tv_nsec += 1000000000L;
+    }
+    // EINTR from our own SIGPROF just re-enters the loop.
+    ::nanosleep(&remaining, nullptr);
+  }
+}
+
+}  // namespace
+
+bool SamplingProfiler::capture(const ProfileOptions& options,
+                               ProfileReport& out, std::string& error) {
+  bool expected = false;
+  if (!g_busy.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    error = "profiler busy: another capture is in flight";
+    return false;
+  }
+  struct BusyGuard {
+    ~BusyGuard() { g_busy.store(false, std::memory_order_release); }
+  } busy_guard;
+
+  int hz = options.hz;
+  if (hz < 1) hz = 1;
+  if (hz > 1000) hz = 1000;
+  double seconds = options.seconds;
+  if (seconds < 0.1) seconds = 0.1;
+  if (seconds > 30.0) seconds = 30.0;
+
+  // Warm backtrace()'s lazy libgcc initialization outside signal context
+  // (DESIGN.md §14 signal-safety rules; lint R22 assumes this).
+  void* warm[4];
+  (void)::backtrace(warm, 4);
+
+  // Reset the ring: clear publication flags so stale samples from a
+  // previous capture can never be aggregated into this one.
+  // relaxed: pre-arm reset — the timer is off, no handler can race it.
+  for (auto& slot : g_ring) slot.ready.store(0, std::memory_order_relaxed);
+  g_head.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);  // relaxed: pre-arm reset
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &profile_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  struct sigaction previous_action;
+  std::memset(&previous_action, 0, sizeof(previous_action));
+  if (::sigaction(SIGPROF, &action, &previous_action) != 0) {
+    error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+
+  // A wall-clock POSIX timer, not ITIMER_PROF: idle servers accumulate
+  // almost no CPU time, but their parked threads are exactly the stacks
+  // the live-capture CI gate needs to see.
+  sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_SIGNAL;
+  event.sigev_signo = SIGPROF;
+  timer_t timer;
+  if (::timer_create(CLOCK_MONOTONIC, &event, &timer) != 0) {
+    (void)::sigaction(SIGPROF, &previous_action, nullptr);
+    error = "timer_create(CLOCK_MONOTONIC) failed";
+    return false;
+  }
+
+  const long interval_ns = 1000000000L / hz;
+  itimerspec spec{};
+  spec.it_interval.tv_sec = 0;
+  spec.it_interval.tv_nsec = interval_ns;
+  spec.it_value = spec.it_interval;
+  g_active.store(true, std::memory_order_release);
+  if (::timer_settime(timer, 0, &spec, nullptr) != 0) {
+    g_active.store(false, std::memory_order_release);
+    (void)::timer_delete(timer);
+    (void)::sigaction(SIGPROF, &previous_action, nullptr);
+    error = "timer_settime failed";
+    return false;
+  }
+
+  sleep_monotonic(seconds);
+
+  // Disarm, then give any in-flight handler a grace period before the
+  // disposition is restored and the ring is read.
+  g_active.store(false, std::memory_order_release);
+  itimerspec disarm{};
+  (void)::timer_settime(timer, 0, &disarm, nullptr);
+  (void)::timer_delete(timer);
+  sleep_monotonic(0.1);
+  (void)::sigaction(SIGPROF, &previous_action, nullptr);
+
+  // Aggregate: fold identical stacks, then symbolize each unique frame
+  // once. Stack keys are raw addresses so the fold itself is cheap.
+  std::uint32_t used = g_head.load(std::memory_order_acquire);
+  if (used > kRingSize) used = static_cast<std::uint32_t>(kRingSize);
+  std::map<std::vector<void*>, std::uint64_t> folded;
+  std::size_t aggregated = 0;
+  for (std::uint32_t i = 0; i < used; ++i) {
+    RawSample& sample = g_ring[i];
+    if (sample.ready.load(std::memory_order_acquire) == 0) continue;
+    // frames[0] is the handler, frames[1] the signal trampoline; the
+    // interrupted stack starts at frames[2].
+    const std::uint32_t skip = sample.depth > 2 ? 2 : 0;
+    std::vector<void*> key(sample.frames + skip,
+                           sample.frames + sample.depth);
+    if (key.empty()) continue;
+    ++folded[key];
+    ++aggregated;
+  }
+  if (aggregated == 0) {
+    error = "no samples captured";
+    return false;
+  }
+
+  std::map<void*, std::string> names;
+  std::string collapsed;
+  std::vector<std::pair<std::string, std::uint64_t>> lines;
+  lines.reserve(folded.size());
+  for (const auto& [key, count] : folded) {
+    std::string line;
+    // backtrace is leaf-first; collapsed format is root-first.
+    for (auto it = key.rbegin(); it != key.rend(); ++it) {
+      auto cached = names.find(*it);
+      if (cached == names.end()) {
+        cached = names.emplace(*it, symbolize(*it)).first;
+      }
+      if (!line.empty()) line += ';';
+      line += cached->second;
+    }
+    lines.emplace_back(std::move(line), count);
+  }
+  // Hottest first, ties lexicographic: deterministic output for the CI
+  // format gate and for diffing captures.
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [stack, count] : lines) {
+    collapsed += stack;
+    collapsed += ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+    collapsed += buf;
+    collapsed += '\n';
+  }
+
+  out.samples = aggregated;
+  // relaxed: overflow tally is diagnostic only.
+  out.dropped =
+      static_cast<std::size_t>(g_dropped.load(std::memory_order_relaxed));
+  out.collapsed = std::move(collapsed);
+  return true;
+}
+
+bool SamplingProfiler::busy() noexcept {
+  return g_busy.load(std::memory_order_acquire);
+}
+
+#else  // !__linux__
+
+bool SamplingProfiler::capture(const ProfileOptions&, ProfileReport&,
+                               std::string& error) {
+  error = "sampling profiler unavailable on this platform";
+  return false;
+}
+
+bool SamplingProfiler::busy() noexcept { return false; }
+
+#endif
+
+}  // namespace mcb::obs::perf

@@ -1,0 +1,57 @@
+// Sampling wall-clock profiler (DESIGN.md §14, "Self-characterization").
+//
+// A POSIX timer (CLOCK_MONOTONIC → SIGPROF) fires process-wide at a
+// configurable rate; the async-signal-safe handler captures a raw
+// backtrace into a fixed lock-free ring (one atomic fetch_add claims a
+// slot, a per-slot ready flag publishes it). Everything unsafe —
+// symbolization, demangling, aggregation, string building — happens
+// after the timer is disarmed, on the capturing thread. The output is
+// flamegraph-ready collapsed stacks ("frame;frame;frame count" lines),
+// served by GET /debug/profile?seconds=N.
+//
+// Wall-clock (not CPU-time) sampling is deliberate: a mostly idle
+// server still produces stacks (worker threads parked in epoll_wait /
+// condition waits), which is what the CI capture against a live
+// `mcbound serve` relies on.
+//
+// Signal-safety rules (enforced by mcbound_lint R22): the handler is
+// marked MCB_SIGNAL_HANDLER and may not allocate, lock, or touch stdio;
+// `backtrace()` is warmed once before the timer is armed so its lazy
+// libgcc initialization cannot run in signal context.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcb::obs::perf {
+
+struct ProfileOptions {
+  /// Sampling frequency. Prime defaults avoid lockstep with periodic
+  /// work. Clamped to [1, 1000].
+  int hz = 97;
+  /// Capture duration. Clamped to [0.1, 30] seconds.
+  double seconds = 2.0;
+};
+
+/// Result of one capture.
+struct ProfileReport {
+  std::size_t samples = 0;   ///< stacks aggregated into `collapsed`
+  std::size_t dropped = 0;   ///< signals that found the ring full
+  std::string collapsed;     ///< "frame;frame;... count\n" lines
+};
+
+class SamplingProfiler {
+ public:
+  /// Run one blocking capture: arm the timer, sleep for the duration,
+  /// disarm, aggregate. Only one capture may run at a time process-wide;
+  /// a concurrent call fails fast with "profiler busy" so the HTTP layer
+  /// can answer 503 without queueing. On failure returns false and sets
+  /// `error` (allocating: error paths are cold).
+  static bool capture(const ProfileOptions& options, ProfileReport& out,
+                      std::string& error);
+
+  /// True while a capture is in flight (for status endpoints).
+  static bool busy() noexcept;
+};
+
+}  // namespace mcb::obs::perf

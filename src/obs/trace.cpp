@@ -6,6 +6,11 @@
 #include <cstring>
 #include <random>
 
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <x86intrin.h>
+#endif
+
 #include "util/annotations.hpp"
 
 namespace mcb::obs {
@@ -20,6 +25,59 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
+#if defined(__x86_64__)
+
+/// Calibration state for the invariant-TSC fast clock: absolute time is
+/// anchored to the steady clock once, then each read is one rdtsc and a
+/// multiply. ok stays false when the CPU does not advertise an invariant
+/// TSC and fast_now_ns() falls back to clock_gettime.
+struct TscClock {
+  bool ok = false;
+  std::uint64_t base_tsc = 0;
+  std::uint64_t base_ns = 0;
+  double ns_per_tick = 0.0;
+};
+
+bool invariant_tsc_supported() noexcept {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (__get_cpuid_max(0x80000000u, nullptr) < 0x80000007u) return false;
+  if (__get_cpuid(0x80000007u, &a, &b, &c, &d) == 0) return false;
+  return (d & (1u << 8)) != 0;  // CPUID.80000007H:EDX[8] = invariant TSC
+}
+
+TscClock calibrate_tsc() noexcept {
+  TscClock clock;
+  if (!invariant_tsc_supported()) return clock;
+  const std::uint64_t ns0 = steady_now_ns();
+  const std::uint64_t tsc0 = __rdtsc();
+  // Spin ~1 ms: clock_gettime resolution (tens of ns) over a 1 ms window
+  // bounds the rate error near 0.01%, and both endpoints sample the two
+  // clocks back to back so the anchor offset is one call apart.
+  std::uint64_t ns1 = ns0;
+  std::uint64_t tsc1 = tsc0;
+  while (ns1 - ns0 < 1000000) {
+    ns1 = steady_now_ns();
+    tsc1 = __rdtsc();
+  }
+  if (tsc1 <= tsc0) return clock;  // TSC not advancing: do not trust it
+  clock.ns_per_tick = static_cast<double>(ns1 - ns0) /
+                      static_cast<double>(tsc1 - tsc0);
+  clock.base_tsc = tsc1;
+  clock.base_ns = ns1;
+  clock.ok = true;
+  return clock;
+}
+
+const TscClock& tsc_clock() noexcept {
+  // First caller pays the ~1 ms calibration; RequestTracer's constructor
+  // warms it so no span ever does. After that the magic-static guard is
+  // one acquire load.
+  static const TscClock clock = calibrate_tsc();
+  return clock;
+}
+
+#endif  // __x86_64__
+
 bool id_char_ok(char c) noexcept {
   return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
          (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.';
@@ -32,6 +90,18 @@ void copy_bounded(char* dst, std::size_t capacity, std::string_view src) {
 }
 
 }  // namespace
+
+MCB_HOT_PATH std::uint64_t fast_now_ns() noexcept {
+#if defined(__x86_64__)
+  const TscClock& clock = tsc_clock();
+  if (clock.ok) {
+    const std::uint64_t ticks = __rdtsc() - clock.base_tsc;
+    return clock.base_ns + static_cast<std::uint64_t>(
+                               static_cast<double>(ticks) * clock.ns_per_tick);
+  }
+#endif
+  return steady_now_ns();
+}
 
 const char* stage_name(Stage stage) noexcept {
   switch (stage) {
@@ -67,7 +137,15 @@ MCB_HOT_PATH TraceScope::~TraceScope() { t_current_trace = previous_; }
 
 MCB_HOT_PATH Span::Span(TraceContext* trace, Stage stage) noexcept
     : trace_(trace), stage_(stage) {
-  if (trace_ != nullptr) start_ns_ = trace_->tracer_->now_ns();
+  // armed_ is the per-request snapshot of the tracer's enabled flag: a
+  // span on a disarmed trace behaves exactly like a span with no trace,
+  // so a set_enabled() flip mid-request can never record half a request.
+  if (trace_ != nullptr && !trace_->armed_) trace_ = nullptr;
+  if (trace_ == nullptr) return;
+  start_ns_ = trace_->tracer_->now_ns();
+  if (trace_->counters_ != nullptr) {
+    counted_ = trace_->counters_->read_counters(start_counters_);
+  }
 }
 
 MCB_HOT_PATH Span::~Span() {
@@ -75,6 +153,19 @@ MCB_HOT_PATH Span::~Span() {
   const std::uint64_t end_ns = trace_->tracer_->now_ns();
   const std::uint64_t elapsed = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
   const auto index = static_cast<std::size_t>(stage_);
+  if (counted_) {
+    perf::CounterSample end_counters;
+    if (trace_->counters_->read_counters(end_counters)) {
+      for (std::size_t c = 0; c < perf::kCounterCount; ++c) {
+        // Clamp instead of wrapping: a counter that wrapped (or was
+        // rescaled downward by multiplexing) contributes 0, never a
+        // ~2^64 delta that would poison the stage totals.
+        const std::uint64_t start = start_counters_.value[c];
+        const std::uint64_t end = end_counters.value[c];
+        trace_->stage_counters_[index][c] += end >= start ? end - start : 0;
+      }
+    }
+  }
   trace_->stage_ns_[index] += elapsed;
   ++trace_->stage_calls_[index];
   trace_->tracer_->record_stage(stage_, elapsed);
@@ -86,6 +177,9 @@ RequestTracer::RequestTracer(TracerConfig config)
   if (config_.recorder_slots < config_.recorder_shards) {
     config_.recorder_slots = config_.recorder_shards;
   }
+  // Warm the TSC calibration here, off the hot path, so the first span
+  // never pays the ~1 ms calibration spin.
+  (void)fast_now_ns();
   // Per-process random prefix so IDs from restarted servers don't
   // collide; std::random_device is entropy, not the banned libc rand.
   std::random_device device;
@@ -100,12 +194,27 @@ RequestTracer::RequestTracer(TracerConfig config)
 }
 
 void RequestTracer::set_clock(std::function<std::uint64_t()> clock) {
+  // An injected clock disables the TSC fast path; an empty argument
+  // restores the built-in clock (and with it the fast path).
+  default_clock_ = !clock;
   clock_ = clock ? std::move(clock) : std::function<std::uint64_t()>(&steady_now_ns);
+}
+
+void RequestTracer::set_counter_source(perf::CounterSource* source,
+                                       bool force) {
+  counter_source_ = source;
+  counters_attached_ =
+      source != nullptr && source->available() &&
+      (force || source->hot_path_capable());
 }
 
 TraceContext RequestTracer::make_trace(std::string_view client_id) {
   TraceContext trace;
   trace.tracer_ = this;
+  // Both the enable flag and the counter attachment are snapshotted
+  // here, once per request — spans consult only the snapshot.
+  trace.armed_ = enabled();
+  trace.counters_ = counters_attached_ ? counter_source_ : nullptr;
   trace.start_ns_ = now_ns();
   // relaxed: uniqueness only needs atomicity of the increment
   const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -120,25 +229,41 @@ TraceContext RequestTracer::make_trace(std::string_view client_id) {
 
 void RequestTracer::record_stage(Stage stage, std::uint64_t ns) noexcept {
   StageHist& hist = stages_[static_cast<std::size_t>(stage)];
-  const double seconds = static_cast<double>(ns) * 1e-9;
   std::size_t bucket = kBucketBounds.size();  // +Inf
-  for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
-    if (seconds <= kBucketBounds[b]) {
+  for (std::size_t b = 0; b < kBucketBoundsNs.size(); ++b) {
+    if (ns <= kBucketBoundsNs[b]) {
       bucket = b;
       break;
     }
   }
   // relaxed: independent monotonic histogram cells; scrapes tolerate a
-  // momentarily inconsistent count/sum pair.
+  // momentarily inconsistent bucket/sum pair.
   hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
-  hist.count.fetch_add(1, std::memory_order_relaxed);      // relaxed: see above
-  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);    // relaxed: see above
+  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);  // relaxed: see above
 }
 
 void RequestTracer::finish(TraceContext& trace, int status, std::string_view route) {
+  if (!trace.armed_) return;  // disarmed at make_trace: nothing recorded
   const std::uint64_t end_ns = now_ns();
   const std::uint64_t total =
       end_ns >= trace.start_ns_ ? end_ns - trace.start_ns_ : 0;
+
+  // Flush the request's counter deltas into the process totals once per
+  // request (spans accumulate into the unsynchronized trace arrays).
+  if (trace.counters_ != nullptr) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      for (std::size_t c = 0; c < perf::kCounterCount; ++c) {
+        const std::uint64_t delta = trace.stage_counters_[s][c];
+        if (delta != 0) {
+          // relaxed: independent monotonic cells; scrape view may tear.
+          stage_counter_totals_[s][c].fetch_add(delta,
+                                                std::memory_order_relaxed);
+        }
+      }
+    }
+    // relaxed: monotonic stat counter, no ordering needed
+    counted_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const bool errored = config_.record_errors && status >= 400;
   const bool slow = total >= config_.slow_threshold_ns;
@@ -219,25 +344,80 @@ void RequestTracer::collect_metrics(std::vector<MetricFamily>& out) const {
       running += hist.buckets[b].load(std::memory_order_relaxed);
       point.cumulative.push_back(running);
     }
-    // The +Inf bucket: everything, including samples past the last edge.
-    point.count = hist.count.load(std::memory_order_relaxed);  // relaxed: see above
-    // A scrape racing an insert can observe count < cumulative tail;
-    // clamp so the exposition stays monotone.
-    if (point.count < running) point.count = running;
+    // Total count is the bucket sum including +Inf — derived here rather
+    // than maintained as a third hot-path cell, so the exposition's
+    // count >= cumulative-tail invariant holds by construction.
+    // relaxed: scrape-time read of monotonic cells
+    point.count = running + hist.buckets[kBucketBounds.size()].load(
+                                std::memory_order_relaxed);
     point.sum =
         static_cast<double>(hist.sum_ns.load(std::memory_order_relaxed)) * 1e-9;  // relaxed: see above
     family.points.push_back(std::move(point));
   }
   out.push_back(std::move(family));
+
+  // Hardware-counter families. mcb_perf_available is exported in both
+  // states — scrapers (and the CI gate) distinguish "counters off" from
+  // "metrics broken" by its presence with value 0.
+  MetricFamily available;
+  available.name = "mcb_perf_available";
+  available.help =
+      "1 when per-span hardware counters are attached, 0 in the "
+      "latency-only fallback (ENOSYS/EACCES/EPERM/no PMU)";
+  available.type = MetricType::kGauge;
+  available.points.push_back(scalar_point({}, counters_attached_ ? 1.0 : 0.0));
+  out.push_back(std::move(available));
+
+  struct CounterFamily {
+    const char* name;
+    const char* help;
+    perf::Counter counter;
+    double unit_scale;
+  };
+  const CounterFamily counter_families[] = {
+      {"mcb_stage_cycles_total",
+       "CPU cycles attributed to each request stage (multiplexing-scaled)",
+       perf::Counter::kCycles, 1.0},
+      {"mcb_stage_instructions_total",
+       "Instructions retired in each request stage (multiplexing-scaled)",
+       perf::Counter::kInstructions, 1.0},
+      {"mcb_stage_llc_miss_bytes_total",
+       "Estimated DRAM traffic per stage: LLC misses x 64-byte lines",
+       perf::Counter::kLlcMisses,
+       static_cast<double>(perf::kLlcLineBytes)},
+  };
+  for (const auto& spec : counter_families) {
+    MetricFamily counters;
+    counters.name = spec.name;
+    counters.help = spec.help;
+    counters.type = MetricType::kCounter;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      counters.points.push_back(scalar_point(
+          {{"stage", stage_name(stage)}},
+          static_cast<double>(stage_counter_total(stage, spec.counter)) *
+              spec.unit_scale));
+    }
+    out.push_back(std::move(counters));
+  }
 }
 
 Json RequestTracer::stages_json() const {
   Json out = Json::object();
   for (std::size_t s = 0; s < kStageCount; ++s) {
     const StageHist& hist = stages_[s];
-    // relaxed: scrape-time reads of monotonic stat cells
-    const std::uint64_t count = hist.count.load(std::memory_order_relaxed);
-    const std::uint64_t sum_ns = hist.sum_ns.load(std::memory_order_relaxed);  // relaxed: see above
+    // One snapshot of the buckets for both the count (their sum — there
+    // is no separate count cell) and the quantile walk below, so the two
+    // cannot disagree about a sample that lands mid-scrape.
+    std::array<std::uint64_t, kBucketBounds.size() + 1> bucket_counts{};
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+      // relaxed: scrape-time reads of monotonic stat cells
+      bucket_counts[b] = hist.buckets[b].load(std::memory_order_relaxed);
+      count += bucket_counts[b];
+    }
+    const std::uint64_t sum_ns =
+        hist.sum_ns.load(std::memory_order_relaxed);  // relaxed: see above
     Json stage = Json::object();
     stage.set("count", static_cast<std::int64_t>(count));
     stage.set("total_us", static_cast<double>(sum_ns) * 1e-3);
@@ -252,8 +432,7 @@ Json RequestTracer::stages_json() const {
       std::uint64_t running = 0;
       double lower = 0.0;
       for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
-        const std::uint64_t in_bucket =
-            hist.buckets[b].load(std::memory_order_relaxed);  // relaxed: see above
+        const std::uint64_t in_bucket = bucket_counts[b];
         if (running + in_bucket >= target) {
           const double upper = kBucketBounds[b];
           const double frac =

@@ -1,0 +1,58 @@
+#include "roofline/stage_profile.hpp"
+
+namespace mcb {
+
+StageProfileCollector::StageProfileCollector(const obs::RequestTracer& tracer,
+                                            Characterizer characterizer)
+    : tracer_(tracer), characterizer_(std::move(characterizer)) {}
+
+double StageProfileCollector::stage_intensity(obs::Stage stage) const noexcept {
+  const std::uint64_t instructions =
+      tracer_.stage_counter_total(stage, obs::perf::Counter::kInstructions);
+  if (instructions == 0) return 0.0;
+  const std::uint64_t miss_bytes =
+      tracer_.stage_counter_total(stage, obs::perf::Counter::kLlcMisses) *
+      obs::perf::kLlcLineBytes;
+  if (miss_bytes == 0) return kPureComputeIntensity;  // Eq. 3 sentinel
+  return static_cast<double>(instructions) / static_cast<double>(miss_bytes);
+}
+
+void StageProfileCollector::collect_metrics(
+    std::vector<obs::MetricFamily>& out) const {
+  obs::MetricFamily intensity;
+  intensity.name = "mcb_stage_arith_intensity";
+  intensity.help =
+      "Live arithmetic intensity per request stage: instructions / LLC-miss "
+      "bytes (paper Eq. 3 applied to the serving stack)";
+  intensity.type = obs::MetricType::kGauge;
+
+  obs::MetricFamily bounded;
+  bounded.name = "mcb_stage_boundedness";
+  bounded.help =
+      "Stage classification against the roofline ridge point: 1 = "
+      "compute-bound, 0 = memory-bound (label carries the name)";
+  bounded.type = obs::MetricType::kGauge;
+
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    // Stages with no counted instructions stay absent from both
+    // families: an empty family (degraded path / cold stage) is honest,
+    // a fabricated 0-intensity "memory-bound" point is not.
+    if (tracer_.stage_counter_total(stage, obs::perf::Counter::kInstructions) ==
+        0) {
+      continue;
+    }
+    const double op = stage_intensity(stage);
+    const Boundedness label = characterizer_.classify_intensity(op);
+    intensity.points.push_back(
+        obs::scalar_point({{"stage", obs::stage_name(stage)}}, op));
+    bounded.points.push_back(obs::scalar_point(
+        {{"stage", obs::stage_name(stage)},
+         {"label", boundedness_name(label)}},
+        label == Boundedness::kComputeBound ? 1.0 : 0.0));
+  }
+  out.push_back(std::move(intensity));
+  out.push_back(std::move(bounded));
+}
+
+}  // namespace mcb

@@ -1,0 +1,53 @@
+// Roofline self-profiling of the serving stack (DESIGN.md §14).
+//
+// MCBound classifies *jobs* as memory- or compute-bound from perf
+// counters; this collector dogfoods the same model onto the server's
+// own request pipeline. The tracer accumulates per-stage hardware
+// counters (instructions, LLC misses) via the Span seam; at scrape time
+// this collector derives each stage's live arithmetic intensity
+//
+//     op_stage = instructions / (llc_misses * 64 bytes)
+//
+// and labels the stage through the existing Characterizer ridge-point
+// comparison — the serving-stack analogue of PAPER.md Eq. 3–5, with
+// instructions standing in for FLOPs (the serving pipeline is integer
+// hashing and tree walks, not FP64 SVE).
+//
+// Layering: roofline sits above obs (tools/lint/layers.txt), so the
+// derived-intensity families live here while the raw counter totals are
+// exported by the tracer itself. In the degraded path (no counters) the
+// families are present but empty; mcb_perf_available 0 on the tracer
+// side tells scrapers why.
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "roofline/characterizer.hpp"
+
+namespace mcb {
+
+/// Collector deriving mcb_stage_arith_intensity and
+/// mcb_stage_boundedness from the tracer's counter totals. Registered by
+/// the API server next to the tracer; safe to scrape from any thread
+/// (reads only monotonic atomics + an immutable Characterizer copy).
+class StageProfileCollector final : public obs::Collector {
+ public:
+  /// `tracer` must outlive the collector; `characterizer` is copied (it
+  /// is a value type whose ridge point is fixed at construction).
+  StageProfileCollector(const obs::RequestTracer& tracer,
+                        Characterizer characterizer);
+
+  /// Intensity for one stage right now; kPureComputeIntensity when the
+  /// stage has instructions but no measured misses, 0 with no data.
+  double stage_intensity(obs::Stage stage) const noexcept;
+
+  void collect_metrics(std::vector<obs::MetricFamily>& out) const override;
+
+ private:
+  const obs::RequestTracer& tracer_;
+  Characterizer characterizer_;
+};
+
+}  // namespace mcb

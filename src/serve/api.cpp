@@ -2,6 +2,7 @@
 
 #include "obs/build_info.hpp"
 #include "obs/log.hpp"
+#include "obs/perf/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -94,11 +95,26 @@ ApiServer::ApiServer(Framework& framework, ServerConfig server_config,
     : framework_(&framework),
       server_(server_config),
       embedding_cache_(framework.encoder().dim(), cache_config),
+      stage_profile_(server_.tracer(), framework.characterizer()),
       app_collector_([this](std::vector<obs::MetricFamily>& out) {
         collect_app_metrics(out);
       }) {
+  // Self-characterization wiring (DESIGN.md §14): attach the hardware
+  // counter seam per perf_mode; where perf is unavailable the tracer
+  // stays latency-only and exports mcb_perf_available 0.
+  if (server_config.perf_mode != ServerConfig::PerfMode::kOff) {
+    server_.tracer().set_counter_source(
+        &counter_source_,
+        server_config.perf_mode == ServerConfig::PerfMode::kForce);
+    if (!counter_source_.available()) {
+      log::info("api", "hardware counters unavailable; spans run latency-only",
+                {log::Field("errno", static_cast<std::int64_t>(
+                                         counter_source_.error()))});
+    }
+  }
   registry_.add(&server_.stats());
   registry_.add(&server_.tracer());
+  registry_.add(&stage_profile_);
   registry_.add(&app_collector_);
   install_routes();
 }
@@ -254,6 +270,11 @@ void ApiServer::install_routes() {
                 [this](const HttpRequest& r) { return handle_readyz(r); });
   server_.route("GET", "/debug/requests",
                 [this](const HttpRequest& r) { return handle_debug_requests(r); });
+  // Blocking whole-process SIGPROF capture; runs on a pool worker for
+  // its whole duration, so `seconds` is clamped well below the socket
+  // send timeout and only one capture may be in flight at a time.
+  server_.route("GET", "/debug/profile",
+                [this](const HttpRequest& r) { return handle_debug_profile(r); });
 }
 
 HttpResponse ApiServer::handle_healthz(const HttpRequest&) {
@@ -300,6 +321,43 @@ HttpResponse ApiServer::handle_debug_requests(const HttpRequest& request) {
   if (limit > 1024) limit = 1024;
   return HttpResponse::json(
       200, server_.tracer().debug_requests_json(static_cast<std::size_t>(limit)).dump());
+}
+
+HttpResponse ApiServer::handle_debug_profile(const HttpRequest& request) {
+  obs::perf::ProfileOptions options;
+  options.hz = server_.config().profile_hz;
+  std::int64_t seconds = 2;
+  for (const auto& pair : split(request.query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = pair.substr(0, eq);
+    std::int64_t parsed = 0;
+    if (!parse_i64(pair.substr(eq + 1), parsed)) continue;
+    if (key == "seconds") seconds = parsed;
+    if (key == "hz") options.hz = static_cast<int>(parsed);
+  }
+  // The capture occupies one pool worker for its whole duration; keep it
+  // comfortably inside the client's socket timeouts (5 s send budget).
+  if (seconds < 1) seconds = 1;
+  if (seconds > 8) seconds = 8;
+  options.seconds = static_cast<double>(seconds);
+
+  if (obs::perf::SamplingProfiler::busy()) {
+    return error_response(503, "profiler busy: another capture is in flight");
+  }
+  obs::perf::ProfileReport report;
+  std::string error;
+  if (!obs::perf::SamplingProfiler::capture(options, report, error)) {
+    const bool busy = error.find("busy") != std::string::npos;
+    return error_response(busy ? 503 : 500, error);
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; charset=utf-8";
+  response.headers.emplace_back("X-Profile-Samples", std::to_string(report.samples));
+  response.headers.emplace_back("X-Profile-Dropped", std::to_string(report.dropped));
+  response.body = std::move(report.collapsed);
+  return response;
 }
 
 Json ApiServer::metrics() const {

@@ -11,6 +11,8 @@
 //   POST /train         -> {"now": <epoch s>} -> training report JSON
 //   GET  /metrics       -> server-side counters + per-route latency summaries
 //                          + app section (embedding cache, batch sizes)
+//   GET  /debug/profile -> ?seconds=N&hz=H: blocking SIGPROF capture of the
+//                          whole process; flamegraph-ready collapsed stacks
 //
 // Mutating endpoints are serialized by an internal mutex; read endpoints
 // take the same lock briefly to snapshot model state (the framework is
@@ -27,6 +29,8 @@
 
 #include "core/mcbound.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf/counters.hpp"
+#include "roofline/stage_profile.hpp"
 #include "serve/server.hpp"
 #include "text/embedding_cache.hpp"
 #include "util/json.hpp"
@@ -86,6 +90,7 @@ class ApiServer {
   HttpResponse handle_readyz(const HttpRequest& request);
   HttpResponse handle_metrics(const HttpRequest& request);
   HttpResponse handle_debug_requests(const HttpRequest& request);
+  HttpResponse handle_debug_profile(const HttpRequest& request);
   HttpResponse handle_model_info(const HttpRequest& request);
   HttpResponse handle_characterize(const HttpRequest& request);
   HttpResponse handle_encode(const HttpRequest& request);
@@ -109,6 +114,17 @@ class ApiServer {
   /// Steady-clock ns at start() (through the tracer's clock seam);
   /// 0 before the server has listened. Feeds uptime_seconds.
   std::atomic<std::uint64_t> start_ns_{0};
+
+  /// Hardware-counter seam (DESIGN.md §14): the production
+  /// perf_event_open source, installed on the tracer per
+  /// ServerConfig::perf_mode (tests swap in fakes through
+  /// tracer().set_counter_source). Probed at construction; harmlessly
+  /// inert where perf is unavailable.
+  obs::perf::PerfCounterSource counter_source_;
+  /// Derives mcb_stage_arith_intensity / mcb_stage_boundedness from the
+  /// tracer's counter totals through the framework's Characterizer.
+  StageProfileCollector stage_profile_;
+
   obs::CallbackCollector app_collector_;
   obs::Registry registry_;
 };

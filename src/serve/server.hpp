@@ -60,6 +60,20 @@ struct ServerConfig {
   int listen_backlog = 4096;
   /// Concurrent-connection cap; accepts beyond it are shed with a 503.
   std::size_t max_connections = 32768;
+
+  /// Per-span hardware-counter attribution (DESIGN.md §14). kAuto
+  /// attaches counters only when perf_event_open works *and* the
+  /// userspace rdpmc fast path is mapped (a group read per span then
+  /// costs tens of ns); kForce attaches even when every read is a
+  /// read(2) syscall — diagnostics only, it multiplies span cost by
+  /// ~50x; kOff never probes. Containers without perf (ENOSYS/EACCES/
+  /// EPERM/no PMU) degrade from kAuto to latency-only spans and
+  /// mcb_perf_available 0 automatically.
+  enum class PerfMode : std::uint8_t { kAuto = 0, kOff, kForce };
+  PerfMode perf_mode = PerfMode::kAuto;
+  /// Default SIGPROF sampling frequency for GET /debug/profile when the
+  /// request carries no hz= parameter. Prime to avoid lockstep.
+  int profile_hz = 97;
 };
 
 /// Server-side observability counters, exported as JSON by GET /metrics

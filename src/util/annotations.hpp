@@ -119,3 +119,15 @@
 /// boundary (never on the reactor thread) or performs I/O that cannot
 /// block by construction (non-blocking fds, uncontended bounded locks).
 #define MCB_REACTOR_BOUNDARY
+
+// ---------------------------------------------------------------------
+// Signal-handler marker (DESIGN.md §14).
+//
+// Prefix a function *definition* with MCB_SIGNAL_HANDLER to declare
+// that it runs in signal context. The marker expands to nothing — it
+// exists for mcbound_lint rule R22, which brace-matches the annotated
+// body and bans async-signal-unsafe constructs there (allocation,
+// stdio, locks, symbolization). `backtrace()` itself is permitted: the
+// profiler warms it before arming the timer so its one-time lazy
+// libgcc load cannot happen in signal context (DESIGN.md §14).
+#define MCB_SIGNAL_HANDLER

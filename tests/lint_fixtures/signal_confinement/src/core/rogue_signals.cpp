@@ -1,0 +1,18 @@
+// Fixture: signal machinery outside src/obs/perf. Each free-function
+// call is an R22 confinement finding; the member-call lookalike and the
+// quoted spelling must stay silent.
+namespace fix {
+
+struct Registrar {};
+
+int install_everywhere() {
+  sigaction(7, nullptr, nullptr);     // R22: disposition change
+  timer_create(1, nullptr, nullptr);  // R22: profiling timer
+  backtrace(nullptr, 8);              // R22: stack walk
+  Registrar r;
+  r.sigaction();  // member call, not the libc symbol
+  const char* text = "sigprocmask(everything)";  // quoted: silent
+  return text != nullptr ? 0 : 1;
+}
+
+}  // namespace fix

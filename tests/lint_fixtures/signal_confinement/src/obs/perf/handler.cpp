@@ -1,0 +1,34 @@
+// Fixture: the profiler module may own signal machinery (no confinement
+// findings for the declarations/calls below), but MCB_SIGNAL_HANDLER
+// bodies are still scanned for async-signal-unsafe constructs, and the
+// marker on a declaration guards nothing (R16).
+
+#define MCB_SIGNAL_HANDLER
+
+namespace fix {
+
+long g_slot;
+void* g_frames[32];
+
+int backtrace(void** frames, int depth);
+char** backtrace_symbols(void* const* frames, int depth);
+
+// Atomics-and-backtrace only: the shape the real handler has.
+MCB_SIGNAL_HANDLER void good_handler(int) {
+  g_slot = g_slot + 1;
+  backtrace(g_frames, 32);  // permitted: warmed before the timer arms
+}
+
+MCB_SIGNAL_HANDLER void bad_handler(int) {
+  char** names = backtrace_symbols(g_frames, 8);  // R22: mallocs
+  if (names != nullptr) g_slot = 2;
+}
+
+MCB_SIGNAL_HANDLER void declared_only(int);  // R16: guards nothing
+
+void arm() {
+  sigaction(7, nullptr, nullptr);     // allowed here
+  timer_create(1, nullptr, nullptr);  // allowed here
+}
+
+}  // namespace fix

@@ -548,6 +548,43 @@ TEST(Fixtures, DiscardedStatusReportedOnceNegativesSilent) {
   EXPECT_EQ(it->line, 10u);
 }
 
+TEST(Fixtures, SignalMachineryConfinedToThePerfModule) {
+  const LintResult result = lint_fixture("signal_confinement");
+  ASSERT_FALSE(result.config_error);
+  // src/core: sigaction + timer_create + backtrace, each confined.
+  // src/obs/perf: backtrace_symbols inside the bad handler body. The
+  // member call, the quoted spelling, and the machinery in arm() (the
+  // owning module) all stay silent.
+  EXPECT_EQ(count_rule(result.violations, "R22"), 4u);
+  EXPECT_TRUE(any_message_contains(result.violations, "R22",
+                                   "sigaction()` outside src/obs/perf"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R22",
+                                   "timer_create()` outside src/obs/perf"));
+  EXPECT_TRUE(any_message_contains(result.violations, "R22",
+                                   "backtrace()` outside src/obs/perf"));
+  for (const Violation& v : result.violations) {
+    if (v.rule == "R22" && v.message.find("outside src/obs/perf") != std::string::npos) {
+      EXPECT_EQ(v.file, "src/core/rogue_signals.cpp");
+    }
+  }
+}
+
+TEST(Fixtures, SignalHandlerBodyScanAndDeclarationMisuse) {
+  const LintResult result = lint_fixture("signal_confinement");
+  // bad_handler symbolizes in async-signal context; good_handler's
+  // atomics + pre-warmed backtrace() pass clean.
+  EXPECT_TRUE(any_message_contains(result.violations, "R22",
+                                   "backtrace_symbols mallocs inside "
+                                   "MCB_SIGNAL_HANDLER `bad_handler`"));
+  EXPECT_FALSE(any_message_contains(result.violations, "R22", "good_handler"));
+  // The marker on a declaration guards nothing (R16, shared grammar
+  // with MCB_HOT_PATH).
+  EXPECT_TRUE(any_message_contains(result.violations, "R16",
+                                   "MCB_SIGNAL_HANDLER on a declaration of "
+                                   "`declared_only`"));
+  EXPECT_EQ(result.stats.signal_handlers, 2u);
+}
+
 TEST(Fixtures, DriverRecordsPassTimingsAndGraphStats) {
   const LintResult result = lint_fixture("hot_chain");
   EXPECT_GT(result.stats.functions_indexed, 0u);

@@ -1066,6 +1066,99 @@ TEST_F(ApiTest, PrometheusExposition) {
   EXPECT_NE(response.body.find("le=\"+Inf\""), std::string::npos);
 }
 
+TEST_F(ApiTest, PrometheusExposesSelfCharacterizationFamilies) {
+  // Whatever this machine's perf support, the scrape contract holds:
+  // mcb_perf_available is present (0 in the degraded path) and the
+  // counter + roofline families exist (possibly with no points yet).
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/metrics";
+  request.query = "format=prometheus";
+  const auto response = api_->dispatch(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("# TYPE mcb_perf_available gauge"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("mcb_perf_available "), std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_stage_cycles_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_stage_llc_miss_bytes_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_stage_arith_intensity gauge"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE mcb_stage_boundedness gauge"),
+            std::string::npos);
+}
+
+TEST_F(ApiTest, FakeCountersFlowThroughToRooflineFamilies) {
+  // Inject a counter source through the same seam the server uses, then
+  // drive requests through the normal dispatch path: the raw totals and
+  // the derived intensity/boundedness must all reach /metrics.
+  class TickingSource final : public obs::perf::CounterSource {
+   public:
+    bool read_counters(obs::perf::CounterSample& out) noexcept override {
+      // relaxed: any unique monotonic value works; no ordering needed
+      const std::uint64_t tick = tick_.fetch_add(11, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < obs::perf::kCounterCount; ++i) {
+        out.value[i] = tick * (i + 1);
+      }
+      return true;
+    }
+    bool available() const noexcept override { return true; }
+    int error() const noexcept override { return 0; }
+    bool hot_path_capable() const noexcept override { return true; }
+
+   private:
+    std::atomic<std::uint64_t> tick_{1};
+  };
+  TickingSource source;
+  api_->tracer().set_counter_source(&source);
+  ASSERT_TRUE(api_->tracer().counters_attached());
+
+  for (int i = 0; i < 3; ++i) call("GET", "/healthz");
+
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/metrics";
+  request.query = "format=prometheus";
+  const std::string exposition = api_->dispatch(request).body;
+  EXPECT_NE(exposition.find("mcb_perf_available 1"), std::string::npos);
+  // Every dispatch runs the route span, so the route stage accumulated
+  // cycles and classifies against the ridge point.
+  EXPECT_NE(exposition.find("mcb_stage_cycles_total{stage=\"route\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("mcb_stage_arith_intensity{stage=\"route\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("mcb_stage_boundedness{stage=\"route\""),
+            std::string::npos);
+  api_->tracer().set_counter_source(nullptr);
+}
+
+TEST_F(ApiTest, DebugProfileReturnsCollapsedStacks) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/debug/profile";
+  request.query = "seconds=1&hz=397";
+  const auto response = api_->dispatch(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.content_type.find("text/plain"), std::string::npos);
+  ASSERT_FALSE(response.body.empty());
+  EXPECT_EQ(response.body.back(), '\n');
+  // First line is "frame;frame;... count".
+  const std::string first_line =
+      response.body.substr(0, response.body.find('\n'));
+  const std::size_t space = first_line.rfind(' ');
+  ASSERT_NE(space, std::string::npos);
+  EXPECT_FALSE(first_line.substr(0, space).empty());
+  bool header_found = false;
+  for (const auto& [key, value] : response.headers) {
+    if (key == "X-Profile-Samples") {
+      header_found = true;
+      EXPECT_NE(value, "0");
+    }
+  }
+  EXPECT_TRUE(header_found);
+}
+
 TEST_F(ApiTest, EndToEndOverSockets) {
   ASSERT_TRUE(api_->start(0));
   int status = 0;

@@ -42,7 +42,18 @@
 // checks that every sample belongs to a family announced by # TYPE,
 // every family has # HELP, histogram buckets are cumulative with
 // ascending le bounds, and each histogram's +Inf bucket equals _count.
+//
+// A third mode validates a collapsed-stack profile (the load-test job
+// captures GET /debug/profile against the live server — DESIGN.md §14):
+//
+//   bench_check --collapsed FILE
+//
+// every line must be `frame[;frame...] COUNT` — frames non-empty with
+// no embedded spaces (the profiler sanitizes demangled names), a single
+// space, and a positive integer count. An empty capture fails: even an
+// idle server's parked threads produce wall-clock samples.
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -367,16 +378,85 @@ int check_prometheus(const std::string& path) {
   return errors;
 }
 
+// ---------------------------------------------------------- --collapsed
+
+int check_collapsed(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_check: cannot open collapsed profile %s\n", path.c_str());
+    return 1;
+  }
+  int errors = 0;
+  std::size_t stacks = 0;
+  std::uint64_t total_samples = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const auto bad = [&](const char* why) {
+      std::fprintf(stderr, "  FAIL  line %zu: %s\n", line_no, why);
+      ++errors;
+    };
+    if (line.empty()) {
+      bad("empty line in collapsed profile");
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      bad("expected 'frames COUNT' with exactly one separating space");
+      continue;
+    }
+    const std::string_view stack = std::string_view(line).substr(0, space);
+    const std::string_view count_text = std::string_view(line).substr(space + 1);
+    if (stack.find(' ') != std::string_view::npos) {
+      bad("frame names contain an unsanitized space");
+      continue;
+    }
+    bool frame_ok = true;
+    std::size_t frame_start = 0;
+    for (std::size_t i = 0; i <= stack.size(); ++i) {
+      if (i == stack.size() || stack[i] == ';') {
+        if (i == frame_start) frame_ok = false;  // empty frame (";;" or edge)
+        frame_start = i + 1;
+      }
+    }
+    if (!frame_ok) {
+      bad("empty frame in stack");
+      continue;
+    }
+    std::uint64_t count = 0;
+    if (!mcb::parse_u64(count_text, count) || count == 0) {
+      bad("count is not a positive integer");
+      continue;
+    }
+    ++stacks;
+    total_samples += count;
+  }
+  if (stacks == 0) {
+    std::fprintf(stderr, "  FAIL  %s: no stacks in collapsed profile\n", path.c_str());
+    ++errors;
+  }
+  if (errors == 0) {
+    std::printf("bench_check: %s OK — %zu unique stacks, %llu samples\n", path.c_str(),
+                stacks, static_cast<unsigned long long>(total_samples));
+  }
+  return errors;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::string_view(argv[1]) == "--prom") {
     return check_prometheus(argv[2]) == 0 ? 0 : 1;
   }
+  if (argc == 3 && std::string_view(argv[1]) == "--collapsed") {
+    return check_collapsed(argv[2]) == 0 ? 0 : 1;
+  }
   if (argc < 3 || (argc - 1) % 2 != 0) {
     std::fprintf(stderr,
                  "usage: bench_check BASELINE FRESH [BASELINE FRESH ...]\n"
-                 "       bench_check --prom EXPOSITION_FILE\n");
+                 "       bench_check --prom EXPOSITION_FILE\n"
+                 "       bench_check --collapsed PROFILE_FILE\n");
     return 2;
   }
   int failures = 0;

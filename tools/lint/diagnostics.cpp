@@ -203,6 +203,27 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Check the result, or make the intent explicit with "
        "`(void) index.load(path);` plus a comment. Inline suppression: "
        "`// mcb-lint: ` + `suppress(R21: <why failure is impossible>)`."},
+      {"R22", "signal machinery and handler bodies stay async-signal-safe",
+       "error",
+       "The sampling profiler (src/obs/perf) is the only code allowed to "
+       "install signal dispositions, arm profiling timers or walk stacks "
+       "— a sigaction() elsewhere silently fights it for SIGPROF. And a "
+       "function marked MCB_SIGNAL_HANDLER runs in async-signal context, "
+       "where POSIX permits almost nothing: allocation deadlocks against "
+       "the allocator lock the interrupted thread may hold, stdio takes "
+       "libc-internal locks, dladdr takes the loader lock, throwing "
+       "across a signal frame is undefined. Handler bodies may touch "
+       "atomics, fixed storage, and backtrace() — which the profiler "
+       "warms before arming the timer, making its lazy initialization "
+       "safe by construction.",
+       "MCB_SIGNAL_HANDLER void on_prof(int) {\n"
+       "  names = backtrace_symbols(frames, n);  // mallocs in a handler\n"
+       "}",
+       "Move signal machinery into src/obs/perf; move allocation, stdio, "
+       "locks and symbolization out of the handler into the post-capture "
+       "aggregation path. A construct proven safe on this platform may "
+       "be excused with `// mcb-lint: ` + `suppress(R22: <proof>)` on "
+       "the annotated signature to cover the body."},
   };
   return kCatalog;
 }

@@ -13,6 +13,7 @@
 #include "lint/function_index.hpp"
 #include "lint/graph_rules.hpp"
 #include "lint/hot_path.hpp"
+#include "lint/signal_safety.hpp"
 #include "lint/text_rules.hpp"
 
 namespace fs = std::filesystem;
@@ -63,6 +64,13 @@ bool may_write_streams_directly(const fs::path& p) {
 // syscall-wrapper file, which is the one place socket I/O may live.
 bool must_confine_socket_syscalls(const fs::path& p) {
   return p.parent_path().filename() == "serve" && p.filename() != "server.cpp";
+}
+
+// R22's confinement half: only the profiler module (src/obs/perf/) may
+// install signal dispositions, arm profiling timers or walk stacks.
+bool may_own_signal_machinery(const fs::path& p) {
+  return p.parent_path().filename() == "perf" &&
+         p.parent_path().parent_path().filename() == "obs";
 }
 
 std::string rel_to(const fs::path& root, const fs::path& p) {
@@ -162,7 +170,9 @@ LintResult run_lint(const LintOptions& options) {
       check_relaxed_order_justified(ctx, raw);
       if (!may_write_streams_directly(path)) check_no_direct_stream_writes(ctx, raw);
       if (must_confine_socket_syscalls(path)) check_reactor_syscall_confinement(ctx, raw);
+      if (!may_own_signal_machinery(path)) check_signal_machinery_confinement(ctx, raw);
       result.stats.hot_regions += check_hot_paths(ctx, raw);
+      result.stats.signal_handlers += check_signal_handlers(ctx, raw);
       if (has_extension(path, ".hpp")) check_pragma_once(ctx, raw);
     }
     // Reduced rule set for tools/tests/bench/examples: a CLI may read

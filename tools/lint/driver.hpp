@@ -39,6 +39,7 @@ struct LintStats {
   std::size_t files_scanned = 0;
   std::size_t headers_compiled = 0;
   std::size_t hot_regions = 0;
+  std::size_t signal_handlers = 0;
   std::size_t suppressions_used = 0;
   std::size_t baselined = 0;
   std::size_t modules = 0;

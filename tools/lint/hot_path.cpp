@@ -89,40 +89,47 @@ std::vector<TokenHit> scan_hot_tokens(std::string_view body) {
   return hits;
 }
 
-std::vector<HotRegion> find_hot_regions(const FileContext& ctx,
-                                        std::vector<Violation>& out) {
+std::vector<HotRegion> find_marked_regions(const FileContext& ctx,
+                                           std::string_view marker,
+                                           std::vector<Violation>& out) {
   std::vector<HotRegion> regions;
   const std::string_view code = ctx.view.code;
-  for (std::size_t pos = find_word(code, kMarker, 0); pos != std::string_view::npos;
-       pos = find_word(code, kMarker, pos + 1)) {
+  const std::string name(marker);
+  for (std::size_t pos = find_word(code, marker, 0); pos != std::string_view::npos;
+       pos = find_word(code, marker, pos + 1)) {
     if (on_preprocessor_line(code, pos)) continue;  // the #define itself
-    const std::size_t params_open = code.find('(', pos + kMarker.size());
+    const std::size_t params_open = code.find('(', pos + marker.size());
     if (params_open == std::string_view::npos) {
-      ctx.add(pos, "R16", "MCB_HOT_PATH is not followed by a function definition", out);
+      ctx.add(pos, "R16", name + " is not followed by a function definition", out);
       continue;
     }
     const std::size_t params_close = match_forward(code, params_open, '(', ')');
     if (params_close == std::string_view::npos) {
-      ctx.add(pos, "R16", "MCB_HOT_PATH: unterminated parameter list", out);
+      ctx.add(pos, "R16", name + ": unterminated parameter list", out);
       continue;
     }
     const std::string function = name_before(code, params_open);
     const std::size_t body_open = find_body_open(code, params_close + 1);
     if (body_open == std::string_view::npos) {
       ctx.add(pos, "R16",
-              "MCB_HOT_PATH on a declaration of `" + function +
+              name + " on a declaration of `" + function +
                   "` guards nothing — annotate the definition instead",
               out);
       continue;
     }
     const std::size_t body_close = match_forward(code, body_open, '{', '}');
     if (body_close == std::string_view::npos) {
-      ctx.add(pos, "R16", "MCB_HOT_PATH: unbalanced braces in `" + function + "`", out);
+      ctx.add(pos, "R16", name + ": unbalanced braces in `" + function + "`", out);
       continue;
     }
     regions.push_back({function, pos, body_open, body_close});
   }
   return regions;
+}
+
+std::vector<HotRegion> find_hot_regions(const FileContext& ctx,
+                                        std::vector<Violation>& out) {
+  return find_marked_regions(ctx, kMarker, out);
 }
 
 std::size_t check_hot_paths(FileContext& ctx, std::vector<Violation>& out) {

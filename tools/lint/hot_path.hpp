@@ -50,9 +50,16 @@ struct TokenHit {
 /// transitive pass (R18), so both see the exact same construct set.
 std::vector<TokenHit> scan_hot_tokens(std::string_view body);
 
-/// Locate every MCB_HOT_PATH-annotated function *definition* in the
-/// file; markers on declarations or with unparseable bodies emit R16.
-/// Markers on preprocessor lines (the #define itself) are ignored.
+/// Locate every function *definition* annotated with `marker`; markers
+/// on declarations or with unparseable bodies emit R16. Markers on
+/// preprocessor lines (the #define itself) are ignored. Shared by the
+/// hot-path pass (MCB_HOT_PATH) and the signal-safety pass
+/// (MCB_SIGNAL_HANDLER), so both markers attach with identical grammar.
+std::vector<HotRegion> find_marked_regions(const FileContext& ctx,
+                                           std::string_view marker,
+                                           std::vector<Violation>& out);
+
+/// find_marked_regions for the MCB_HOT_PATH marker.
 std::vector<HotRegion> find_hot_regions(const FileContext& ctx,
                                         std::vector<Violation>& out);
 

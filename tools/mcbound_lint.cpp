@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
               << " files, compiled " << result.stats.headers_compiled << " headers, "
               << result.stats.modules << " modules / " << result.stats.module_edges
               << " edges, " << result.stats.hot_regions << " hot regions, "
+              << result.stats.signal_handlers << " signal handler(s), "
               << result.stats.functions_indexed << " functions / "
               << result.stats.call_edges << " call edges, "
               << result.stats.suppressions_used << " suppression(s), "

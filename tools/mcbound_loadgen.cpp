@@ -11,6 +11,7 @@
 //                   [--pipeline D] [--keepalive true|false]
 //                   [--path /healthz] [--think-ms MS]
 //                   [--json BENCH_serve.json] [--metric-prefix pipe_]
+//                   [--scrape-url http://127.0.0.1:P/metrics?format=prometheus]
 //
 // --think-ms paces each connection (wait after a full round of
 // responses before sending the next) so N idle-ish keep-alive
@@ -18,6 +19,12 @@
 // --json writes/merges an mcb-bench-v1 artifact for tools/bench_check;
 // --metric-prefix lets a second leg (e.g. pipelined) merge its metrics
 // into the same artifact under distinct names.
+// --scrape-url pulls the server's Prometheus exposition before and
+// after the run and merges hardware-counter deltas (per-stage cycles,
+// LLC miss bytes, perf availability — DESIGN.md §14) into the same
+// artifact, so BENCH_serve.json carries hardware telemetry on runners
+// whose perf_event paranoia level permits it and an explicit
+// perf_available=0 marker on runners whose level does not.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -31,12 +38,15 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -431,6 +441,179 @@ class LoadGen {
   Histogram latency_log10_us_;
 };
 
+// ---------------------------------------------------------- --scrape-url
+//
+// A deliberately small blocking HTTP client, separate from the epoll
+// load loop: scrapes happen before and after the run, never during it,
+// so one synchronous GET per scrape is the simplest correct tool.
+
+struct ScrapeTarget {
+  std::string host;  ///< dotted-quad only (localhost is rewritten)
+  int port = 0;
+  std::string path;
+};
+
+/// Accepts http://HOST:PORT/PATH with a numeric IPv4 host (or the
+/// literal "localhost"). No DNS: the scrape target is the server this
+/// tool is already load-testing over loopback.
+bool parse_scrape_url(const std::string& url, ScrapeTarget& out) {
+  constexpr std::string_view kScheme = "http://";
+  std::string_view rest(url);
+  if (rest.substr(0, kScheme.size()) != kScheme) return false;
+  rest.remove_prefix(kScheme.size());
+  const std::size_t slash = rest.find('/');
+  const std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  out.path = slash == std::string_view::npos
+                 ? std::string("/")
+                 : std::string(rest.substr(slash));
+  const std::size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) return false;  // require explicit port
+  std::int64_t port = 0;
+  if (!mcb::parse_i64(authority.substr(colon + 1), port) || port <= 0 ||
+      port > 65535) {
+    return false;
+  }
+  out.port = static_cast<int>(port);
+  out.host = std::string(authority.substr(0, colon));
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  in_addr probe{};
+  return !out.host.empty() && ::inet_pton(AF_INET, out.host.c_str(), &probe) == 1;
+}
+
+/// One blocking GET; fills `body` with everything after the header
+/// block on a 200. 5 s socket timeouts bound a wedged server.
+bool http_get(const ScrapeTarget& target, std::string& body, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = "socket() failed";
+    return false;
+  }
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(target.port));
+  ::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "connect to " + target.host + " failed: " + std::strerror(errno);
+    return false;
+  }
+  std::string request = "GET " + target.path +
+                        " HTTP/1.1\r\nHost: " + target.host +
+                        "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error = "send failed";
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = "recv failed";
+      return false;
+    }
+    if (n == 0) break;  // Connection: close — EOF delimits the body
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    error = "malformed HTTP response (no header terminator)";
+    return false;
+  }
+  const std::string_view head = std::string_view(response).substr(0, head_end);
+  if (head.find(" 200 ") == std::string_view::npos) {
+    error = "non-200 scrape response: " +
+            std::string(head.substr(0, head.find("\r\n")));
+    return false;
+  }
+  body = response.substr(head_end + 4);
+  return true;
+}
+
+/// Parse a Prometheus text exposition into series -> value. The key is
+/// the full series string (`name{labels}` or bare `name`); the value
+/// follows the last space, which is unambiguous because our label
+/// values never contain spaces.
+std::map<std::string, double> parse_prom_series(const std::string& body) {
+  std::map<std::string, double> series;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line = std::string_view(body).substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space == 0) continue;
+    char* end = nullptr;
+    const std::string value_text(line.substr(space + 1));
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;
+    series[std::string(line.substr(0, space))] = value;
+  }
+  return series;
+}
+
+/// Pull the stage="..." label value out of a series key.
+std::string stage_label(const std::string& series_key) {
+  constexpr std::string_view kLabel = "stage=\"";
+  const std::size_t start = series_key.find(kLabel);
+  if (start == std::string::npos) return "";
+  const std::size_t value_start = start + kLabel.size();
+  const std::size_t value_end = series_key.find('"', value_start);
+  if (value_end == std::string::npos) return "";
+  return series_key.substr(value_start, value_end - value_start);
+}
+
+/// Compute per-stage counter deltas between two scrapes and append them
+/// as artifact metrics. Counters only ever grow within one server
+/// lifetime, but a clamp keeps a mid-run restart from producing a
+/// negative "delta".
+void merge_counter_deltas(const std::map<std::string, double>& before,
+                          const std::map<std::string, double>& after,
+                          std::vector<std::pair<std::string, double>>& metrics) {
+  const auto available = after.find("mcb_perf_available");
+  metrics.emplace_back("perf_available",
+                       available != after.end() ? available->second : 0.0);
+  const struct {
+    std::string_view family;
+    const char* metric_prefix;
+  } kFamilies[] = {
+      {"mcb_stage_cycles_total", "perf_cycles_"},
+      {"mcb_stage_llc_miss_bytes_total", "perf_llc_miss_bytes_"},
+  };
+  for (const auto& family : kFamilies) {
+    for (const auto& [key, end_value] : after) {
+      if (key.compare(0, family.family.size(), family.family) != 0 ||
+          key.size() <= family.family.size() ||
+          key[family.family.size()] != '{') {
+        continue;
+      }
+      const std::string stage = stage_label(key);
+      if (stage.empty()) continue;
+      const auto start = before.find(key);
+      const double start_value = start != before.end() ? start->second : 0.0;
+      const double delta = end_value >= start_value ? end_value - start_value : 0.0;
+      metrics.emplace_back(family.metric_prefix + stage, delta);
+    }
+  }
+}
+
 /// Write (or merge into) an mcb-bench-v1 artifact. Merging lets two
 /// loadgen legs — keep-alive fan-out and pipelined burst — share one
 /// BENCH_serve.json checked by a single bench_check invocation.
@@ -468,11 +651,12 @@ int main(int argc, char** argv) {
       "usage: mcbound_loadgen --port P [--connections N] [--duration-s S]\n"
       "                       [--pipeline D] [--keepalive true|false]\n"
       "                       [--path /healthz] [--think-ms MS]\n"
-      "                       [--json FILE] [--metric-prefix PFX]\n";
+      "                       [--json FILE] [--metric-prefix PFX]\n"
+      "                       [--scrape-url http://HOST:PORT/metrics?format=prometheus]\n";
   const auto flags = CliFlags::parse(
       argc, argv,
       {"port", "connections", "duration-s", "pipeline", "keepalive", "path",
-       "think-ms", "json", "metric-prefix"},
+       "think-ms", "json", "metric-prefix", "scrape-url"},
       usage);
   if (!flags.has_value()) return 2;
   if (flags->help_requested()) return 0;
@@ -501,6 +685,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(nofile), options.connections);
   }
 
+  const std::string scrape_url = flags->get("scrape-url", "");
+  ScrapeTarget scrape_target;
+  if (!scrape_url.empty() && !parse_scrape_url(scrape_url, scrape_target)) {
+    std::fprintf(stderr,
+                 "--scrape-url must look like http://127.0.0.1:PORT/path "
+                 "(got '%s')\n",
+                 scrape_url.c_str());
+    return 2;
+  }
+
   std::printf("mcbound_loadgen: %zu connections -> 127.0.0.1:%d%s, %.1fs, "
               "pipeline %zu, keepalive %s, think %llums\n",
               options.connections, options.port, options.path.c_str(),
@@ -508,8 +702,30 @@ int main(int argc, char** argv) {
               options.keepalive ? "on" : "off",
               static_cast<unsigned long long>(options.think_ms));
 
+  std::map<std::string, double> scrape_before;
+  if (!scrape_url.empty()) {
+    std::string body, error;
+    if (!http_get(scrape_target, body, error)) {
+      std::fprintf(stderr, "pre-run scrape of %s failed: %s\n",
+                   scrape_url.c_str(), error.c_str());
+      return 1;
+    }
+    scrape_before = parse_prom_series(body);
+  }
+
   LoadGen gen(options);
   if (!gen.run()) return 1;
+
+  std::vector<std::pair<std::string, double>> counter_metrics;
+  if (!scrape_url.empty()) {
+    std::string body, error;
+    if (!http_get(scrape_target, body, error)) {
+      std::fprintf(stderr, "post-run scrape of %s failed: %s\n",
+                   scrape_url.c_str(), error.c_str());
+      return 1;
+    }
+    merge_counter_deltas(scrape_before, parse_prom_series(body), counter_metrics);
+  }
 
   const Totals& totals = gen.totals();
   const double duration = std::max(gen.duration_s(), 1e-9);
@@ -536,11 +752,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.reconnects));
   std::printf("  accounted fraction %.6f\n", gen.accounted_fraction());
   std::printf("  ok fraction        %.6f\n", gen.ok_fraction());
+  if (!scrape_url.empty()) {
+    std::printf("\nhardware telemetry (per-stage counter deltas over the run):\n");
+    for (const auto& [name, value] : counter_metrics) {
+      std::printf("  %-28s %.0f\n", name.c_str(), value);
+    }
+  }
 
   const std::string json_path = flags->get("json", "");
   if (!json_path.empty()) {
     const std::string prefix = flags->get("metric-prefix", "");
-    const std::vector<std::pair<std::string, double>> metrics = {
+    std::vector<std::pair<std::string, double>> metrics = {
         {"throughput_rps", rps},
         {"p50_ms", p50},
         {"p90_ms", p90},
@@ -549,6 +771,7 @@ int main(int argc, char** argv) {
         {"accounted_fraction", gen.accounted_fraction()},
         {"ok_fraction", gen.ok_fraction()},
     };
+    metrics.insert(metrics.end(), counter_metrics.begin(), counter_metrics.end());
     if (!write_artifact(json_path, prefix, metrics)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
